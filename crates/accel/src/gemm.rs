@@ -1,0 +1,335 @@
+//! The Tensor-Core-like GeMM accelerator datapath.
+
+use serde::{Deserialize, Serialize};
+
+use crate::word::{decode_i32, decode_i8, encode_i32};
+
+/// Spatial unrolling of the 3-D PE array (`Mu × Nu × Ku` MACs per cycle).
+///
+/// The evaluation system uses 8×8×8 = 512 PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmArrayConfig {
+    /// Output rows computed in parallel.
+    pub m_unroll: usize,
+    /// Output columns computed in parallel.
+    pub n_unroll: usize,
+    /// Reduction elements consumed in parallel.
+    pub k_unroll: usize,
+}
+
+impl GemmArrayConfig {
+    /// The paper's 8×8×8 array.
+    #[must_use]
+    pub const fn paper() -> Self {
+        GemmArrayConfig {
+            m_unroll: 8,
+            n_unroll: 8,
+            k_unroll: 8,
+        }
+    }
+
+    /// Total processing elements.
+    #[must_use]
+    pub fn num_pes(&self) -> usize {
+        self.m_unroll * self.n_unroll * self.k_unroll
+    }
+
+    /// Bytes of one A tile (`Mu × Ku` int8).
+    #[must_use]
+    pub fn a_tile_bytes(&self) -> usize {
+        self.m_unroll * self.k_unroll
+    }
+
+    /// Bytes of one B tile (`Ku × Nu` int8).
+    #[must_use]
+    pub fn b_tile_bytes(&self) -> usize {
+        self.k_unroll * self.n_unroll
+    }
+
+    /// Bytes of one C/D tile (`Mu × Nu` int32).
+    #[must_use]
+    pub fn cd_tile_bytes(&self) -> usize {
+        self.m_unroll * self.n_unroll * 4
+    }
+
+    /// Bytes of one E tile (`Mu × Nu` int8).
+    #[must_use]
+    pub fn e_tile_bytes(&self) -> usize {
+        self.m_unroll * self.n_unroll
+    }
+}
+
+impl Default for GemmArrayConfig {
+    fn default() -> Self {
+        GemmArrayConfig::paper()
+    }
+}
+
+/// The GeMM datapath: accumulates `k_steps` tile MACs into an output tile.
+///
+/// Each call to [`step`](Self::step) performs one cycle's worth of work:
+/// `acc += A_tile × B_tile`, seeding the accumulator with the C tile on the
+/// first step of each output tile and releasing `D = acc` on the last.
+///
+/// # Examples
+///
+/// ```
+/// use dm_accel::{GemmArrayConfig, GemmDatapath};
+/// use dm_accel::word::{encode_i32, decode_i32};
+///
+/// let cfg = GemmArrayConfig { m_unroll: 2, n_unroll: 2, k_unroll: 2 };
+/// let mut dp = GemmDatapath::new(cfg, 1);
+/// // A = [[1,2],[3,4]], B = [[5,6],[7,8]], C = 0.
+/// let a = [1i8, 2, 3, 4].map(|v| v as u8);
+/// let b = [5i8, 6, 7, 8].map(|v| v as u8);
+/// let c = encode_i32(&[0; 4]);
+/// let d = dp.step(&a, &b, Some(&c)).expect("k_steps = 1 completes a tile");
+/// assert_eq!(decode_i32(&d), vec![19, 22, 43, 50]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GemmDatapath {
+    config: GemmArrayConfig,
+    k_steps: u64,
+    k_counter: u64,
+    acc: Vec<i32>,
+    tiles_completed: u64,
+    macs: u64,
+}
+
+impl GemmDatapath {
+    /// Creates a datapath that accumulates `k_steps` tile products per
+    /// output tile (the temporal K loop length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_steps` is zero.
+    #[must_use]
+    pub fn new(config: GemmArrayConfig, k_steps: u64) -> Self {
+        assert!(k_steps > 0, "k_steps must be non-zero");
+        GemmDatapath {
+            config,
+            k_steps,
+            k_counter: 0,
+            acc: vec![0; config.m_unroll * config.n_unroll],
+            tiles_completed: 0,
+            macs: 0,
+        }
+    }
+
+    /// The array configuration.
+    #[must_use]
+    pub fn config(&self) -> &GemmArrayConfig {
+        &self.config
+    }
+
+    /// `true` when the next [`step`](Self::step) starts a fresh output tile
+    /// (and therefore needs the C operand).
+    #[must_use]
+    pub fn needs_c(&self) -> bool {
+        self.k_counter == 0
+    }
+
+    /// `true` when the next [`step`](Self::step) completes an output tile
+    /// (and therefore produces D).
+    #[must_use]
+    pub fn produces_d(&self) -> bool {
+        self.k_counter == self.k_steps - 1
+    }
+
+    /// Executes one cycle: `acc += A×B`, seeded by `c` when
+    /// [`needs_c`](Self::needs_c); returns the finished D tile when
+    /// [`produces_d`](Self::produces_d).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile widths mismatch the configuration or `c` is
+    /// missing on the first step of a tile.
+    pub fn step(&mut self, a_tile: &[u8], b_tile: &[u8], c_tile: Option<&[u8]>) -> Option<Vec<u8>> {
+        let (mu, nu, ku) = (
+            self.config.m_unroll,
+            self.config.n_unroll,
+            self.config.k_unroll,
+        );
+        assert_eq!(a_tile.len(), self.config.a_tile_bytes(), "A tile width");
+        assert_eq!(b_tile.len(), self.config.b_tile_bytes(), "B tile width");
+        if self.needs_c() {
+            let c_tile = c_tile.expect("C tile required on first k step");
+            assert_eq!(c_tile.len(), self.config.cd_tile_bytes(), "C tile width");
+            self.acc = decode_i32(c_tile);
+        }
+        let a = decode_i8(a_tile);
+        let b = decode_i8(b_tile);
+        for r in 0..mu {
+            for c in 0..nu {
+                let mut sum = 0i32;
+                for k in 0..ku {
+                    sum += i32::from(a[r * ku + k]) * i32::from(b[k * nu + c]);
+                }
+                self.acc[r * nu + c] = self.acc[r * nu + c].wrapping_add(sum);
+            }
+        }
+        self.macs += (mu * nu * ku) as u64;
+        self.k_counter += 1;
+        if self.k_counter == self.k_steps {
+            self.k_counter = 0;
+            self.tiles_completed += 1;
+            Some(encode_i32(&self.acc))
+        } else {
+            None
+        }
+    }
+
+    /// Output tiles completed so far.
+    #[must_use]
+    pub fn tiles_completed(&self) -> u64 {
+        self.tiles_completed
+    }
+
+    /// Total multiply-accumulates performed.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Reconfigures the temporal K length and resets accumulation state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_steps` is zero.
+    pub fn reconfigure(&mut self, k_steps: u64) {
+        assert!(k_steps > 0, "k_steps must be non-zero");
+        self.k_steps = k_steps;
+        self.k_counter = 0;
+        self.acc.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::gemm_ref;
+    use crate::word::encode_i8;
+    use proptest::prelude::*;
+
+    fn tiny() -> GemmArrayConfig {
+        GemmArrayConfig {
+            m_unroll: 2,
+            n_unroll: 2,
+            k_unroll: 2,
+        }
+    }
+
+    #[test]
+    fn paper_config_is_512_pes() {
+        let cfg = GemmArrayConfig::paper();
+        assert_eq!(cfg.num_pes(), 512);
+        assert_eq!(cfg.a_tile_bytes(), 64);
+        assert_eq!(cfg.b_tile_bytes(), 64);
+        assert_eq!(cfg.cd_tile_bytes(), 256);
+        assert_eq!(cfg.e_tile_bytes(), 64);
+        assert_eq!(GemmArrayConfig::default(), cfg);
+    }
+
+    #[test]
+    fn single_step_with_bias() {
+        let mut dp = GemmDatapath::new(tiny(), 1);
+        let a = encode_i8(&[1, 0, 0, 1]); // identity
+        let b = encode_i8(&[9, 8, 7, 6]);
+        let c = encode_i32(&[100, 100, 100, 100]);
+        let d = dp.step(&a, &b, Some(&c)).unwrap();
+        assert_eq!(decode_i32(&d), vec![109, 108, 107, 106]);
+        assert_eq!(dp.tiles_completed(), 1);
+        assert_eq!(dp.macs(), 8);
+    }
+
+    #[test]
+    fn multi_step_accumulates_over_k() {
+        let mut dp = GemmDatapath::new(tiny(), 2);
+        let a = encode_i8(&[1, 1, 1, 1]);
+        let b = encode_i8(&[1, 1, 1, 1]);
+        let c = encode_i32(&[0; 4]);
+        assert!(dp.needs_c());
+        assert!(!dp.produces_d());
+        assert!(dp.step(&a, &b, Some(&c)).is_none());
+        assert!(!dp.needs_c());
+        assert!(dp.produces_d());
+        let d = dp.step(&a, &b, None).unwrap();
+        // Two k-steps of ones: each output = 2 (per step) * 2 steps = 4.
+        assert_eq!(decode_i32(&d), vec![4; 4]);
+    }
+
+    #[test]
+    fn negative_values_and_saturation_free_wraparound() {
+        let mut dp = GemmDatapath::new(tiny(), 1);
+        let a = encode_i8(&[-128, -128, -128, -128]);
+        let b = encode_i8(&[-128, -128, -128, -128]);
+        let c = encode_i32(&[0; 4]);
+        let d = dp.step(&a, &b, Some(&c)).unwrap();
+        assert_eq!(decode_i32(&d), vec![32768; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "C tile required")]
+    fn missing_c_panics() {
+        let mut dp = GemmDatapath::new(tiny(), 1);
+        let _ = dp.step(&[0; 4], &[0; 4], None);
+    }
+
+    #[test]
+    fn reconfigure_resets_state() {
+        let mut dp = GemmDatapath::new(tiny(), 4);
+        let _ = dp.step(&[1; 4], &[1; 4], Some(&encode_i32(&[0; 4])));
+        dp.reconfigure(1);
+        assert!(dp.needs_c());
+        let d = dp
+            .step(&encode_i8(&[0; 4]), &encode_i8(&[0; 4]), Some(&encode_i32(&[5; 4])))
+            .unwrap();
+        assert_eq!(decode_i32(&d), vec![5; 4]);
+    }
+
+    proptest! {
+        /// Feeding the datapath tile-by-tile reproduces the scalar golden
+        /// GeMM for random small problems.
+        #[test]
+        fn matches_reference(
+            a in proptest::collection::vec(any::<i8>(), 16),
+            b in proptest::collection::vec(any::<i8>(), 16),
+            c in proptest::collection::vec(-1000i32..1000, 4),
+            k_steps in 1u64..4,
+        ) {
+            // Problem: M=N=2, K = 2*k_steps, tiled as k_steps MACs.
+            let cfg = tiny();
+            let k_total = 2 * k_steps as usize;
+            let a = &a[..2 * k_total.min(8)];
+            let b = &b[..2 * k_total.min(8)];
+            // Regenerate with exact sizes.
+            let a: Vec<i8> = a.iter().copied().cycle().take(2 * k_total).collect();
+            let b: Vec<i8> = b.iter().copied().cycle().take(k_total * 2).collect();
+            let golden = gemm_ref(&a, &b, &c, 2, 2, k_total);
+            let mut dp = GemmDatapath::new(cfg, k_steps);
+            let c_bytes = encode_i32(&c);
+            let mut d_out = None;
+            for ks in 0..k_steps as usize {
+                // Extract the k-step's A (2×2 of columns 2ks..2ks+2) and
+                // B (rows 2ks..2ks+2).
+                let mut a_tile = Vec::new();
+                for r in 0..2 {
+                    for kk in 0..2 {
+                        a_tile.push(a[r * k_total + 2 * ks + kk] as u8);
+                    }
+                }
+                let mut b_tile = Vec::new();
+                for kk in 0..2 {
+                    for cc in 0..2 {
+                        b_tile.push(b[(2 * ks + kk) * 2 + cc] as u8);
+                    }
+                }
+                let c_arg: Option<&[u8]> = if ks == 0 { Some(&c_bytes) } else { None };
+                d_out = dp.step(&a_tile, &b_tile, c_arg);
+            }
+            let d = d_out.expect("final step produces the tile");
+            prop_assert_eq!(decode_i32(&d), golden);
+            prop_assert_eq!(dp.tiles_completed(), 1);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Accelerator datapath models for the DataMaestro evaluation system.
+//!
+//! The paper's evaluation system (Fig. 6) pairs the streaming engine with
+//! two accelerators, both modelled here:
+//!
+//! * a Tensor-Core-like **GeMM accelerator** with a 3-D `Mu×Nu×Ku` PE array
+//!   computing `D32 = A8 ⊗ B8 + C32` — one `Mu×Ku by Ku×Nu` tile
+//!   multiply-accumulate per cycle ([`GemmDatapath`]);
+//! * a **Quantization accelerator** computing `E8 = rescale(D32)` with
+//!   per-output-channel fixed-point scales ([`Quantizer`]).
+//!
+//! Both are *functional* models with single-cycle tile throughput: the
+//! paper's utilization metric counts data-stream stalls, not datapath
+//! pipeline latency, so deeper pipelining would not change any reproduced
+//! number.
+//!
+//! [`word`] provides the byte-level tile encodings shared with the
+//! streamers, and [`mod@reference`] the scalar golden models every simulation
+//! run is checked against.
+
+pub mod gemm;
+pub mod quant;
+pub mod reference;
+pub mod word;
+
+pub use gemm::{GemmArrayConfig, GemmDatapath};
+pub use quant::{Quantizer, RescaleParams};
+pub use reference::{gemm_ref, maxpool2d_ref, quantize_ref};

@@ -1,0 +1,254 @@
+//! The Quantization accelerator: `E8 = rescale(D32)`.
+//!
+//! Rescaling uses the standard integer-only fixed-point scheme: each int32
+//! accumulator is multiplied by a per-output-channel int32 multiplier,
+//! arithmetic-shifted right (with round-half-up) and saturated to int8 —
+//! the same family of operations TFLite-style integer inference uses and
+//! what the paper's `Rescale` denotes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::word::{decode_i32, encode_i8};
+
+/// Fixed-point rescale parameters for one output channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RescaleParams {
+    /// Fixed-point multiplier.
+    pub multiplier: i32,
+    /// Right-shift amount (0..=62).
+    pub shift: u32,
+}
+
+impl RescaleParams {
+    /// Identity rescale (multiplier 1, shift 0) — saturation only.
+    pub const IDENTITY: RescaleParams = RescaleParams {
+        multiplier: 1,
+        shift: 0,
+    };
+
+    /// Applies the rescale to one accumulator value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dm_accel::RescaleParams;
+    ///
+    /// let p = RescaleParams { multiplier: 1, shift: 4 };
+    /// assert_eq!(p.apply(160), 10);
+    /// assert_eq!(p.apply(-160), -10);
+    /// assert_eq!(RescaleParams::IDENTITY.apply(1000), 127); // saturates
+    /// ```
+    #[must_use]
+    pub fn apply(&self, value: i32) -> i8 {
+        let product = i64::from(value) * i64::from(self.multiplier);
+        let rounding = 1i64 << self.shift >> 1; // half, 0 when shift == 0
+        let shifted = (product + rounding) >> self.shift;
+        shifted.clamp(i64::from(i8::MIN), i64::from(i8::MAX)) as i8
+    }
+}
+
+impl Default for RescaleParams {
+    fn default() -> Self {
+        RescaleParams::IDENTITY
+    }
+}
+
+/// The quantization accelerator: rescales `Mu × Nu` int32 tiles to int8
+/// tiles using per-column (per-output-channel) parameters.
+///
+/// # Examples
+///
+/// ```
+/// use dm_accel::{Quantizer, RescaleParams};
+/// use dm_accel::word::encode_i32;
+///
+/// let q = Quantizer::new(2, 2, vec![RescaleParams { multiplier: 1, shift: 1 }; 2]);
+/// let d = encode_i32(&[2, 4, 6, 8]);
+/// assert_eq!(q.rescale_tile(&d), vec![1, 2, 3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quantizer {
+    rows: usize,
+    cols: usize,
+    params: Vec<RescaleParams>,
+    tiles_processed: u64,
+}
+
+impl Quantizer {
+    /// Creates a quantizer for `rows × cols` tiles with per-column
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != cols`.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, params: Vec<RescaleParams>) -> Self {
+        assert_eq!(params.len(), cols, "one rescale parameter per column");
+        Quantizer {
+            rows,
+            cols,
+            params,
+            tiles_processed: 0,
+        }
+    }
+
+    /// Creates a quantizer with a single shared parameter for all columns.
+    #[must_use]
+    pub fn uniform(rows: usize, cols: usize, params: RescaleParams) -> Self {
+        Quantizer::new(rows, cols, vec![params; cols])
+    }
+
+    /// Tile geometry `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Per-column parameters.
+    #[must_use]
+    pub fn params(&self) -> &[RescaleParams] {
+        &self.params
+    }
+
+    /// Updates the per-column parameters (host CSR write between layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the column count.
+    pub fn set_params(&mut self, params: Vec<RescaleParams>) {
+        assert_eq!(params.len(), self.cols, "one rescale parameter per column");
+        self.params = params;
+    }
+
+    /// Rescales one D tile (row-major int32 bytes) into an E tile
+    /// (row-major int8 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches the tile geometry.
+    #[must_use]
+    pub fn rescale_tile(&self, d_tile: &[u8]) -> Vec<u8> {
+        assert_eq!(d_tile.len(), self.rows * self.cols * 4, "D tile width");
+        let d = decode_i32(d_tile);
+        let mut e = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                e.push(self.params[c].apply(d[r * self.cols + c]));
+            }
+        }
+        encode_i8(&e)
+    }
+
+    /// Rescales and counts the tile (the stateful system-facing entry).
+    #[must_use]
+    pub fn process(&mut self, d_tile: &[u8]) -> Vec<u8> {
+        self.tiles_processed += 1;
+        self.rescale_tile(d_tile)
+    }
+
+    /// Tiles processed via [`process`](Self::process).
+    #[must_use]
+    pub fn tiles_processed(&self) -> u64 {
+        self.tiles_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::encode_i32;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_saturates_only() {
+        let p = RescaleParams::IDENTITY;
+        assert_eq!(p.apply(5), 5);
+        assert_eq!(p.apply(-5), -5);
+        assert_eq!(p.apply(300), 127);
+        assert_eq!(p.apply(-300), -128);
+        assert_eq!(RescaleParams::default(), p);
+    }
+
+    #[test]
+    fn rounding_is_half_up() {
+        let p = RescaleParams {
+            multiplier: 1,
+            shift: 1,
+        };
+        assert_eq!(p.apply(3), 2); // 1.5 → 2
+        assert_eq!(p.apply(1), 1); // 0.5 → 1
+        assert_eq!(p.apply(-1), 0); // -0.5 → 0 (half-up toward +∞)
+    }
+
+    #[test]
+    fn per_column_params_apply_columnwise() {
+        let q = Quantizer::new(
+            2,
+            2,
+            vec![
+                RescaleParams {
+                    multiplier: 1,
+                    shift: 0,
+                },
+                RescaleParams {
+                    multiplier: 2,
+                    shift: 0,
+                },
+            ],
+        );
+        let d = encode_i32(&[1, 1, 2, 2]);
+        assert_eq!(q.rescale_tile(&d), vec![1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn process_counts_tiles() {
+        let mut q = Quantizer::uniform(1, 1, RescaleParams::IDENTITY);
+        let _ = q.process(&encode_i32(&[1]));
+        let _ = q.process(&encode_i32(&[2]));
+        assert_eq!(q.tiles_processed(), 2);
+    }
+
+    #[test]
+    fn set_params_replaces() {
+        let mut q = Quantizer::uniform(1, 2, RescaleParams::IDENTITY);
+        q.set_params(vec![
+            RescaleParams {
+                multiplier: 3,
+                shift: 0,
+            };
+            2
+        ]);
+        assert_eq!(q.rescale_tile(&encode_i32(&[2, 2])), vec![6, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rescale parameter per column")]
+    fn wrong_param_count_panics() {
+        let _ = Quantizer::new(2, 4, vec![RescaleParams::IDENTITY; 2]);
+    }
+
+    proptest! {
+        /// Output never exceeds int8 range and is monotone in the input for
+        /// positive multipliers.
+        #[test]
+        fn saturation_and_monotonicity(
+            v1 in any::<i32>(),
+            v2 in any::<i32>(),
+            multiplier in 1i32..1 << 20,
+            shift in 0u32..31,
+        ) {
+            let p = RescaleParams { multiplier, shift };
+            let (e1, e2) = (p.apply(v1), p.apply(v2));
+            prop_assert!((i8::MIN..=i8::MAX).contains(&e1));
+            if v1 <= v2 {
+                prop_assert!(e1 <= e2, "monotone: {v1}→{e1}, {v2}→{e2}");
+            }
+        }
+
+        /// Identity parameters on in-range values are exact.
+        #[test]
+        fn identity_is_exact_in_range(v in -128i32..=127) {
+            prop_assert_eq!(RescaleParams::IDENTITY.apply(v), v as i8);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Scalar golden models.
+//!
+//! Every cycle-accurate system run in this workspace is validated against
+//! these straightforward implementations: the simulator must produce
+//! byte-identical results, which pins down the entire streaming path
+//! (layouts, AGU patterns, extensions, accumulation and rescaling).
+
+use crate::quant::RescaleParams;
+
+/// Golden GeMM: `D[m][n] = C_row[n] broadcast + Σ_k A[m][k]·B[k][n]`
+/// with `C` given as a full `m×n` matrix.
+///
+/// `a` is `m×k` row-major int8, `b` is `k×n` row-major int8, `c` is `m×n`
+/// row-major int32 (pass zeros for no bias).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+///
+/// # Examples
+///
+/// ```
+/// let d = dm_accel::gemm_ref(&[1, 2], &[3, 4], &[10], 1, 1, 2);
+/// assert_eq!(d, vec![10 + 1 * 3 + 2 * 4]);
+/// ```
+#[must_use]
+pub fn gemm_ref(a: &[i8], b: &[i8], c: &[i32], m: usize, n: usize, k: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    let mut d = vec![0i32; m * n];
+    for r in 0..m {
+        for col in 0..n {
+            let mut acc = c[r * n + col];
+            for kk in 0..k {
+                acc = acc.wrapping_add(i32::from(a[r * k + kk]) * i32::from(b[kk * n + col]));
+            }
+            d[r * n + col] = acc;
+        }
+    }
+    d
+}
+
+/// Golden GeMM with a per-column bias vector broadcast across rows (the
+/// form the evaluation system's Broadcaster serves).
+#[must_use]
+pub fn gemm_bias_ref(a: &[i8], b: &[i8], bias: &[i32], m: usize, n: usize, k: usize) -> Vec<i32> {
+    assert_eq!(bias.len(), n, "bias must have one entry per column");
+    let c: Vec<i32> = (0..m * n).map(|i| bias[i % n]).collect();
+    gemm_ref(a, b, &c, m, n, k)
+}
+
+/// Golden quantization: applies per-column rescale parameters to an `m×n`
+/// int32 matrix.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch.
+#[must_use]
+pub fn quantize_ref(d: &[i32], params: &[RescaleParams], m: usize, n: usize) -> Vec<i8> {
+    assert_eq!(d.len(), m * n, "D must be m*n");
+    assert_eq!(params.len(), n, "one parameter per column");
+    let mut e = Vec::with_capacity(m * n);
+    for r in 0..m {
+        for c in 0..n {
+            e.push(params[c].apply(d[r * n + c]));
+        }
+    }
+    e
+}
+
+/// Golden 2-D convolution over a channels-last int8 tensor.
+///
+/// * `input` — `h × w × c_in` (row-major, channel innermost), already
+///   including any zero padding;
+/// * `weights` — `c_out × kh × kw × c_in`;
+/// * `bias` — one int32 per output channel;
+/// * output — `oh × ow × c_out` with `oh = (h - kh)/stride + 1` etc.
+///
+/// # Panics
+///
+/// Panics if the geometry is inconsistent.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn conv2d_ref(
+    input: &[i8],
+    weights: &[i8],
+    bias: &[i32],
+    h: usize,
+    w: usize,
+    c_in: usize,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> Vec<i32> {
+    assert_eq!(input.len(), h * w * c_in, "input geometry");
+    assert_eq!(weights.len(), c_out * kh * kw * c_in, "weight geometry");
+    assert_eq!(bias.len(), c_out, "bias geometry");
+    assert!(stride > 0, "stride must be non-zero");
+    assert!(h >= kh && w >= kw, "kernel larger than input");
+    let oh = (h - kh) / stride + 1;
+    let ow = (w - kw) / stride + 1;
+    let mut out = vec![0i32; oh * ow * c_out];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for co in 0..c_out {
+                let mut acc = bias[co];
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        for ci in 0..c_in {
+                            let iy = oy * stride + ky;
+                            let ix = ox * stride + kx;
+                            let iv = input[(iy * w + ix) * c_in + ci];
+                            let wv = weights[((co * kh + ky) * kw + kx) * c_in + ci];
+                            acc = acc.wrapping_add(i32::from(iv) * i32::from(wv));
+                        }
+                    }
+                }
+                out[(oy * ow + ox) * c_out + co] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Golden 2-D max pooling over a channels-last int8 tensor.
+///
+/// * `input` — `h × w × c` (row-major, channel innermost);
+/// * window `k × k`, square `stride`;
+/// * output — `oh × ow × c` with `oh = (h - k)/stride + 1` (flooring).
+///
+/// # Panics
+///
+/// Panics if the geometry is inconsistent.
+#[must_use]
+pub fn maxpool2d_ref(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    c: usize,
+    k: usize,
+    stride: usize,
+) -> Vec<i8> {
+    assert_eq!(input.len(), h * w * c, "input geometry");
+    assert!(stride > 0 && k > 0, "window and stride must be non-zero");
+    assert!(h >= k && w >= k, "window larger than input");
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let mut out = vec![i8::MIN; oh * ow * c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for ci in 0..c {
+                let mut best = i8::MIN;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let v = input[((oy * stride + ky) * w + ox * stride + kx) * c + ci];
+                        best = best.max(v);
+                    }
+                }
+                out[(oy * ow + ox) * c + ci] = best;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gemm_identity() {
+        // A = I2, B arbitrary → D = B + C.
+        let a = [1, 0, 0, 1];
+        let b = [5, -6, 7, 8];
+        let c = [1, 1, 1, 1];
+        assert_eq!(gemm_ref(&a, &b, &c, 2, 2, 2), vec![6, -5, 8, 9]);
+    }
+
+    #[test]
+    fn gemm_bias_broadcasts_rows() {
+        let a = [0; 4];
+        let b = [0; 4];
+        let bias = [3, -4];
+        assert_eq!(gemm_bias_ref(&a, &b, &bias, 2, 2, 2), vec![3, -4, 3, -4]);
+    }
+
+    #[test]
+    fn quantize_applies_per_column() {
+        let d = [100, 100];
+        let params = [
+            RescaleParams {
+                multiplier: 1,
+                shift: 0,
+            },
+            RescaleParams {
+                multiplier: 1,
+                shift: 2,
+            },
+        ];
+        assert_eq!(quantize_ref(&d, &params, 1, 2), vec![100, 25]);
+    }
+
+    #[test]
+    fn conv_1x1_is_pointwise_gemm() {
+        // 1×1 kernel, stride 1: conv == per-pixel matmul over channels.
+        let input = [1i8, 2, 3, 4]; // 2×1 image, 2 channels
+        let weights = [1i8, 1, 1, -1]; // 2 out-channels × 1×1 × 2 in
+        let bias = [0, 0];
+        let out = conv2d_ref(&input, &weights, &bias, 2, 1, 2, 2, 1, 1, 1);
+        assert_eq!(out, vec![3, -1, 7, -1]);
+    }
+
+    #[test]
+    fn conv_stride_subsamples() {
+        // 1 channel 4×1 input, kernel 1×1, stride 2 → picks rows 0 and 2.
+        let input = [10i8, 20, 30, 40];
+        let weights = [1i8];
+        let out = conv2d_ref(&input, &weights, &[0], 4, 1, 1, 1, 1, 1, 2);
+        assert_eq!(out, vec![10, 30]);
+    }
+
+    #[test]
+    fn conv_window_sums() {
+        // 3×3 ones kernel over 3×3 ones input, 1 channel → 9 + bias.
+        let input = [1i8; 9];
+        let weights = [1i8; 9];
+        let out = conv2d_ref(&input, &weights, &[100], 3, 3, 1, 1, 3, 3, 1);
+        assert_eq!(out, vec![109]);
+    }
+
+    #[test]
+    fn maxpool_window_picks_maximum() {
+        // 2×2 window, stride 2 on a 4×4 single-channel ramp.
+        let input: Vec<i8> = (0..16).collect();
+        let out = maxpool2d_ref(&input, 4, 4, 1, 2, 2);
+        assert_eq!(out, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_identity_window() {
+        let input = [3i8, -7, 0, 5];
+        assert_eq!(maxpool2d_ref(&input, 2, 2, 1, 1, 1), input);
+    }
+
+    #[test]
+    fn maxpool_channels_independent() {
+        // 2 channels: max taken per channel.
+        let input = [1i8, -1, 2, -2, 3, -3, 4, -4]; // 2×2×2
+        assert_eq!(maxpool2d_ref(&input, 2, 2, 2, 2, 2), vec![4, -1]);
+    }
+
+    proptest! {
+        /// Max pooling output elements are always ≥ every covered input and
+        /// equal to one of them.
+        #[test]
+        fn maxpool_is_a_max(
+            input in proptest::collection::vec(any::<i8>(), 4 * 4 * 2),
+        ) {
+            let out = maxpool2d_ref(&input, 4, 4, 2, 2, 2);
+            prop_assert_eq!(out.len(), 2 * 2 * 2);
+            for (i, &o) in out.iter().enumerate() {
+                prop_assert!(input.contains(&o), "output {i} not from input");
+            }
+            // The global max must appear somewhere in the output.
+            let gmax = input.iter().copied().max().unwrap();
+            prop_assert!(out.contains(&gmax));
+        }
+
+        /// GeMM respects distributivity over C: gemm(A,B,C) ==
+        /// gemm(A,B,0) + C elementwise.
+        #[test]
+        fn bias_is_additive(
+            a in proptest::collection::vec(any::<i8>(), 6),
+            b in proptest::collection::vec(any::<i8>(), 6),
+            c in proptest::collection::vec(-1000i32..1000, 4),
+        ) {
+            let with = gemm_ref(&a, &b, &c, 2, 2, 3);
+            let without = gemm_ref(&a, &b, &[0; 4], 2, 2, 3);
+            for i in 0..4 {
+                prop_assert_eq!(with[i], without[i].wrapping_add(c[i]));
+            }
+        }
+
+        /// A 1×1 stride-1 convolution equals a GeMM over flattened pixels.
+        #[test]
+        fn conv1x1_equals_gemm(
+            input in proptest::collection::vec(any::<i8>(), 12),
+            weights in proptest::collection::vec(any::<i8>(), 6),
+            bias in proptest::collection::vec(-100i32..100, 2),
+        ) {
+            // 2×2 image, 3 in-channels, 2 out-channels.
+            let conv = conv2d_ref(&input, &weights, &bias, 2, 2, 3, 2, 1, 1, 1);
+            // GeMM: A = pixels×cin (4×3), B = cin×cout (3×2) — note the
+            // weight layout is cout-major, so B[k][n] = weights[n*3+k].
+            let mut b_mat = vec![0i8; 6];
+            for k in 0..3 {
+                for n in 0..2 {
+                    b_mat[k * 2 + n] = weights[n * 3 + k];
+                }
+            }
+            let gemm = gemm_bias_ref(&input, &b_mat, &bias, 4, 2, 3);
+            prop_assert_eq!(conv, gemm);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Byte-level tile encodings shared between streamers and datapaths.
+//!
+//! Tiles travel through the system as little-endian byte vectors:
+//! an `R×C` int8 tile is `R*C` bytes row-major; an `R×C` int32 tile is
+//! `4*R*C` bytes row-major. These helpers convert between the wire form and
+//! element vectors.
+
+/// Decodes a little-endian byte slice into `i8` elements.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dm_accel::word::decode_i8(&[0xFF, 0x01]), vec![-1, 1]);
+/// ```
+#[must_use]
+pub fn decode_i8(bytes: &[u8]) -> Vec<i8> {
+    bytes.iter().map(|&b| b as i8).collect()
+}
+
+/// Encodes `i8` elements into bytes.
+#[must_use]
+pub fn encode_i8(values: &[i8]) -> Vec<u8> {
+    values.iter().map(|&v| v as u8).collect()
+}
+
+/// Decodes a little-endian byte slice into `i32` elements.
+///
+/// # Panics
+///
+/// Panics if the length is not a multiple of four.
+#[must_use]
+pub fn decode_i32(bytes: &[u8]) -> Vec<i32> {
+    assert_eq!(bytes.len() % 4, 0, "i32 tile bytes must be 4-aligned");
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Encodes `i32` elements into little-endian bytes.
+#[must_use]
+pub fn encode_i32(values: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn i8_roundtrip_extremes() {
+        let vals = vec![i8::MIN, -1, 0, 1, i8::MAX];
+        assert_eq!(decode_i8(&encode_i8(&vals)), vals);
+    }
+
+    #[test]
+    fn i32_roundtrip_extremes() {
+        let vals = vec![i32::MIN, -1, 0, 1, i32::MAX];
+        assert_eq!(decode_i32(&encode_i32(&vals)), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-aligned")]
+    fn misaligned_i32_panics() {
+        let _ = decode_i32(&[1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn i8_roundtrip(vals in proptest::collection::vec(any::<i8>(), 0..64)) {
+            prop_assert_eq!(decode_i8(&encode_i8(&vals)), vals);
+        }
+
+        #[test]
+        fn i32_roundtrip(vals in proptest::collection::vec(any::<i32>(), 0..64)) {
+            prop_assert_eq!(decode_i32(&encode_i32(&vals)), vals);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The qualitative feature comparison of Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Support level of one feature in one system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSupport {
+    /// Supported.
+    Yes,
+    /// Not supported.
+    No,
+    /// Supported with a qualifier (e.g. affine access limited to N dims).
+    Limited(&'static str),
+}
+
+impl std::fmt::Display for FeatureSupport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeatureSupport::Yes => write!(f, "yes"),
+            FeatureSupport::No => write!(f, "no"),
+            FeatureSupport::Limited(what) => write!(f, "yes ({what})"),
+        }
+    }
+}
+
+/// One system's row in Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureRow {
+    /// System name.
+    pub system: &'static str,
+    /// Open source availability.
+    pub open_source: FeatureSupport,
+    /// Reusable (accelerator-agnostic) design.
+    pub reusable: FeatureSupport,
+    /// Decoupled access/execute.
+    pub decoupled: FeatureSupport,
+    /// Programmable affine access (with dimensionality).
+    pub affine_access: FeatureSupport,
+    /// Fine-grained prefetch.
+    pub fine_grained_prefetch: FeatureSupport,
+    /// Runtime addressing-mode switching.
+    pub mode_switching: FeatureSupport,
+    /// On-the-fly data manipulation.
+    pub on_the_fly: FeatureSupport,
+}
+
+/// Table I of the paper: DataMaestro against the SotA data-movement
+/// solutions.
+#[must_use]
+pub fn feature_matrix() -> Vec<FeatureRow> {
+    use FeatureSupport::{Limited, No, Yes};
+    vec![
+        FeatureRow {
+            system: "Gemmini",
+            open_source: Yes,
+            reusable: No,
+            decoupled: No,
+            affine_access: Limited("2-D"),
+            fine_grained_prefetch: No,
+            mode_switching: No,
+            on_the_fly: No,
+        },
+        FeatureRow {
+            system: "BitWave",
+            open_source: No,
+            reusable: No,
+            decoupled: No,
+            affine_access: No,
+            fine_grained_prefetch: No,
+            mode_switching: No,
+            on_the_fly: No,
+        },
+        FeatureRow {
+            system: "Schneider et al.",
+            open_source: No,
+            reusable: No,
+            decoupled: No,
+            affine_access: Limited("2-D"),
+            fine_grained_prefetch: No,
+            mode_switching: No,
+            on_the_fly: No,
+        },
+        FeatureRow {
+            system: "FEATHER",
+            open_source: Yes,
+            reusable: No,
+            decoupled: No,
+            affine_access: No,
+            fine_grained_prefetch: No,
+            mode_switching: No,
+            on_the_fly: Yes,
+        },
+        FeatureRow {
+            system: "SSR",
+            open_source: Yes,
+            reusable: No,
+            decoupled: Yes,
+            affine_access: Limited("4-D"),
+            fine_grained_prefetch: No,
+            mode_switching: No,
+            on_the_fly: No,
+        },
+        FeatureRow {
+            system: "Buffet",
+            open_source: Yes,
+            reusable: Yes,
+            decoupled: Yes,
+            affine_access: Limited("2-D"),
+            fine_grained_prefetch: No,
+            mode_switching: No,
+            on_the_fly: No,
+        },
+        FeatureRow {
+            system: "Softbrain",
+            open_source: No,
+            reusable: No,
+            decoupled: Yes,
+            affine_access: Limited("2-D"),
+            fine_grained_prefetch: No,
+            mode_switching: No,
+            on_the_fly: No,
+        },
+        FeatureRow {
+            system: "DataMaestro",
+            open_source: Yes,
+            reusable: Yes,
+            decoupled: Yes,
+            affine_access: Limited("N-D"),
+            fine_grained_prefetch: Yes,
+            mode_switching: Yes,
+            on_the_fly: Yes,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datamaestro_is_the_only_full_row() {
+        let rows = feature_matrix();
+        assert_eq!(rows.len(), 8);
+        let dm = rows.iter().find(|r| r.system == "DataMaestro").unwrap();
+        assert_eq!(dm.fine_grained_prefetch, FeatureSupport::Yes);
+        assert_eq!(dm.mode_switching, FeatureSupport::Yes);
+        assert_eq!(dm.on_the_fly, FeatureSupport::Yes);
+        // No other system has fine-grained prefetch or mode switching.
+        for row in rows.iter().filter(|r| r.system != "DataMaestro") {
+            assert_eq!(row.fine_grained_prefetch, FeatureSupport::No, "{}", row.system);
+            assert_eq!(row.mode_switching, FeatureSupport::No, "{}", row.system);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FeatureSupport::Yes.to_string(), "yes");
+        assert_eq!(FeatureSupport::No.to_string(), "no");
+        assert_eq!(FeatureSupport::Limited("2-D").to_string(), "yes (2-D)");
+    }
+}

@@ -1,0 +1,19 @@
+//! Analytic models of the state-of-the-art systems DataMaestro is compared
+//! against in the paper's evaluation (Table I, Fig. 10).
+//!
+//! None of these systems can be rebuilt gate-for-gate here; what Fig. 10
+//! needs is each design's *utilization mechanism* under equal-PE,
+//! equal-frequency normalization. Each model below encodes the published
+//! behaviour of its system (fill/drain, weight reload, explicit im2col,
+//! shared-scratchpad serialization, bit-serial GeMM weakness) as explicit
+//! formulas with documented constants; see [`throughput`] for the
+//! normalization. The area/power overhead table of Fig. 10 (right) quotes
+//! the numbers published in each paper verbatim.
+
+pub mod feature_matrix;
+pub mod throughput;
+
+pub use feature_matrix::{feature_matrix, FeatureRow, FeatureSupport};
+pub use throughput::{
+    data_movement_costs, normalized_throughput_tops, utilization, Baseline, DataMovementCost,
+};

@@ -1,0 +1,58 @@
+//! AGU microbenchmark: the paper's dual-counter temporal AGU against the
+//! naive divide/multiply implementation (§III-B's microarchitectural
+//! argument, measured here as software model throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datamaestro::agu::{naive_temporal_addresses, SpatialAgu, TemporalAgu};
+use std::hint::black_box;
+
+fn bench_temporal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("temporal-agu");
+    for dims in [2usize, 4, 6] {
+        let bounds: Vec<u64> = (0..dims).map(|d| if d < 2 { 16 } else { 4 }).collect();
+        let strides: Vec<i64> = (0..dims).map(|d| 8 << d).collect();
+        let total: u64 = bounds.iter().product();
+        group.bench_with_input(
+            BenchmarkId::new("dual-counter", dims),
+            &dims,
+            |b, _| {
+                b.iter(|| {
+                    let mut agu = TemporalAgu::new(0, &bounds, &strides);
+                    let mut acc = 0u64;
+                    while let Some(a) = agu.next_address() {
+                        acc = acc.wrapping_add(a);
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive", dims), &dims, |b, _| {
+            b.iter(|| {
+                let addrs = naive_temporal_addresses(0, &bounds, &strides);
+                black_box(addrs.iter().copied().fold(0u64, u64::wrapping_add))
+            });
+        });
+        group.throughput(criterion::Throughput::Elements(total));
+    }
+    group.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    c.bench_function("spatial-agu-32ch", |b| {
+        let agu = SpatialAgu::new(&[2, 2, 2, 2, 2], &[8, 16, 32, 64, 128]);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for ch in 0..32 {
+                acc = acc.wrapping_add(agu.channel_address(black_box(4096), ch));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_temporal, bench_spatial
+}
+criterion_main!(benches);

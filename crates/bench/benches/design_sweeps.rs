@@ -1,0 +1,71 @@
+//! Design-choice ablation benches (the sweeps DESIGN.md §5 calls out),
+//! measuring the wall-clock cost of simulating the same workload under
+//! different design parameters. Note that wall time mixes simulated cycle
+//! count with per-cycle simulation activity, so it is a software-cost
+//! measurement; the authoritative *hardware* numbers (utilization,
+//! conflicts) are printed by the companion binary
+//! `cargo run -p dm-bench --bin sweeps --release`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_compiler::{BufferDepths, FeatureSet};
+use dm_system::{run_workload, SystemConfig};
+use dm_workloads::{GemmSpec, WorkloadData};
+use std::hint::black_box;
+
+fn base_config() -> SystemConfig {
+    SystemConfig {
+        check_output: false,
+        ..SystemConfig::default()
+    }
+}
+
+fn bench_fifo_depth(c: &mut Criterion) {
+    let data = WorkloadData::generate(GemmSpec::new(64, 64, 64).into(), 1);
+    let mut group = c.benchmark_group("fifo-depth");
+    for depth in [2usize, 4, 8, 16] {
+        let cfg = SystemConfig {
+            depths: BufferDepths {
+                data: depth,
+                ..BufferDepths::default()
+            },
+            // FIMA stresses the FIFOs: conflicts must be absorbed.
+            features: FeatureSet::ablation_step(5),
+            ..base_config()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(run_workload(&cfg, &data).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_addressing_mode(c: &mut Criterion) {
+    let data = WorkloadData::generate(GemmSpec::new(64, 64, 64).into(), 2);
+    let mut group = c.benchmark_group("addressing-mode");
+    for (name, step) in [("fima", 5usize), ("gima", 6)] {
+        let cfg = base_config().with_features(FeatureSet::ablation_step(step));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &step, |b, _| {
+            b.iter(|| black_box(run_workload(&cfg, &data).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefetch(c: &mut Criterion) {
+    let data = WorkloadData::generate(GemmSpec::new(64, 64, 64).into(), 3);
+    let mut group = c.benchmark_group("prefetch");
+    for (name, step) in [("coarse", 1usize), ("fine-grained", 2)] {
+        let cfg = base_config().with_features(FeatureSet::ablation_step(step));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &step, |b, _| {
+            b.iter(|| black_box(run_workload(&cfg, &data).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fifo_depth, bench_addressing_mode, bench_prefetch
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Memory subsystem microbenchmarks: address remapping throughput per
+//! addressing mode and crossbar arbitration under varying contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_mem::{
+    AddressRemapper, AddressingMode, BankLocation, MemConfig, MemOp, MemRequest,
+    MemorySubsystem,
+};
+use std::hint::black_box;
+
+fn bench_remapper(c: &mut Criterion) {
+    let cfg = MemConfig::new(32, 8, 4096).unwrap();
+    let mut group = c.benchmark_group("remapper");
+    for (name, mode) in [
+        ("fima", AddressingMode::FullyInterleaved),
+        ("gima8", AddressingMode::GroupedInterleaved { group_banks: 8 }),
+        ("nima", AddressingMode::NonInterleaved),
+    ] {
+        let remap = AddressRemapper::new(&cfg, mode).unwrap();
+        group.bench_function(BenchmarkId::new("map", name), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for w in 0..1024u64 {
+                    let loc = remap.map_word(black_box(w * 37 % remap.capacity_words()));
+                    acc += loc.bank + loc.row;
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar");
+    // Contention levels: requesters per bank in a single cycle.
+    for contention in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("arbitrate-16req", contention),
+            &contention,
+            |b, &contention| {
+                let mut mem = MemorySubsystem::new(MemConfig::new(32, 8, 256).unwrap());
+                let ids: Vec<_> = (0..16)
+                    .map(|i| mem.register_requester(format!("r{i}")))
+                    .collect();
+                b.iter(|| {
+                    for (i, &id) in ids.iter().enumerate() {
+                        mem.submit(MemRequest {
+                            requester: id,
+                            loc: BankLocation {
+                                bank: (i / contention) % 32,
+                                row: 0,
+                            },
+                            tag: 0,
+                            op: MemOp::Read,
+                        })
+                        .unwrap();
+                    }
+                    let grants = mem.arbitrate();
+                    black_box(grants.iter().filter(|&&g| g).count());
+                    black_box(mem.take_responses().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_remapper, bench_crossbar
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end simulator throughput: full evaluation-system runs per second
+//! (compile + preload + cycle loop + verification).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dm_system::{run_workload, SystemConfig};
+use dm_workloads::{ConvSpec, GemmSpec, WorkloadData};
+use std::hint::black_box;
+
+fn bench_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system-run");
+    let cfg = SystemConfig {
+        check_output: false,
+        ..SystemConfig::default()
+    };
+
+    let gemm = WorkloadData::generate(GemmSpec::new(64, 64, 64).into(), 1);
+    group.throughput(Throughput::Elements(gemm.workload.ideal_cycles()));
+    group.bench_function("gemm-64", |b| {
+        b.iter(|| black_box(run_workload(&cfg, &gemm).expect("runs")));
+    });
+
+    let conv = WorkloadData::generate(ConvSpec::new(18, 18, 32, 32, 3, 3, 1).into(), 2);
+    group.throughput(Throughput::Elements(conv.workload.ideal_cycles()));
+    group.bench_function("conv3x3-16x16x32", |b| {
+        b.iter(|| black_box(run_workload(&cfg, &conv).expect("runs")));
+    });
+
+    let tgemm = WorkloadData::generate(GemmSpec::transposed(64, 64, 64).into(), 3);
+    group.throughput(Throughput::Elements(tgemm.workload.ideal_cycles()));
+    group.bench_function("tgemm-64", |b| {
+        b.iter(|| black_box(run_workload(&cfg, &tgemm).expect("runs")));
+    });
+    group.finish();
+}
+
+fn bench_verified_run(c: &mut Criterion) {
+    // Includes golden-model computation and byte-exact output comparison.
+    let cfg = SystemConfig::default();
+    let gemm = WorkloadData::generate(GemmSpec::new(32, 32, 32).into(), 4);
+    c.bench_function("system-run/gemm-32-verified", |b| {
+        b.iter(|| black_box(run_workload(&cfg, &gemm).expect("runs")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_runs, bench_verified_run
+}
+criterion_main!(benches);

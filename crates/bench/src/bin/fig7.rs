@@ -1,0 +1,132 @@
+//! Regenerates Fig. 7: the ablation study over the 260-workload synthetic
+//! suite.
+//!
+//! * Fig. 7(a): GeMM-core utilization distribution (box-plot statistics and
+//!   mean) per kernel group, for configurations ① (baseline) through ⑥
+//!   (fully featured);
+//! * Fig. 7(b): data access counts per configuration, normalized to the
+//!   baseline ①, per kernel group.
+//!
+//! Pass `--quick` to run on every 5th workload for a fast smoke pass.
+
+use std::collections::BTreeMap;
+
+use dm_compiler::FeatureSet;
+use dm_sim::Distribution;
+use dm_system::SystemConfig;
+use dm_workloads::{synthetic_suite, WorkloadGroup};
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown option: {other} (supported: --quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let suite: Vec<_> = synthetic_suite()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !quick || i % 5 == 0)
+        .map(|(_, w)| w)
+        .collect();
+    println!(
+        "Fig. 7 ablation over {} synthetic workloads{}",
+        suite.len(),
+        if quick { " (--quick subset)" } else { "" }
+    );
+
+    let groups = [
+        WorkloadGroup::Gemm,
+        WorkloadGroup::TransposedGemm,
+        WorkloadGroup::Conv,
+    ];
+    // utilization distributions per (group, step) and access ratios.
+    let mut utils: BTreeMap<(WorkloadGroup, usize), Distribution> = BTreeMap::new();
+    let mut access_ratio: BTreeMap<(WorkloadGroup, usize), Distribution> = BTreeMap::new();
+
+    for (idx, workload) in suite.iter().enumerate() {
+        let mut baseline_accesses = 0u64;
+        for step in 1..=6 {
+            let cfg = SystemConfig::default().with_features(FeatureSet::ablation_step(step));
+            let report = dm_bench::measure(&cfg, *workload, idx as u64)
+                .unwrap_or_else(|e| panic!("step {step} on {workload}: {e}"));
+            if step == 1 {
+                baseline_accesses = report.accesses();
+            }
+            utils
+                .entry((workload.group(), step))
+                .or_default()
+                .record(report.utilization());
+            access_ratio
+                .entry((workload.group(), step))
+                .or_default()
+                .record(report.accesses() as f64 / baseline_accesses as f64);
+        }
+        if (idx + 1) % 20 == 0 {
+            eprintln!("  …{}/{} workloads", idx + 1, suite.len());
+        }
+    }
+
+    println!("\nFig. 7(a): utilization distribution per group and configuration");
+    println!("(1=baseline 2=+prefetch 3=+transposer 4=+broadcaster 5=+im2col 6=+mode-switching)");
+    for group in groups {
+        println!("\n  {group}:");
+        println!(
+            "  {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "step", "min", "q1", "median", "q3", "max", "mean"
+        );
+        for step in 1..=6 {
+            let s = utils[&(group, step)].summary();
+            println!(
+                "  {:<6} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+                step,
+                100.0 * s.min,
+                100.0 * s.q1,
+                100.0 * s.median,
+                100.0 * s.q3,
+                100.0 * s.max,
+                100.0 * s.mean
+            );
+        }
+    }
+
+    println!("\nFig. 7(b): data access counts normalized to baseline (mean per group)");
+    println!(
+        "  {:<18} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "group", "1", "2", "3", "4", "5", "6"
+    );
+    for group in groups {
+        print!("  {:<18}", group.to_string());
+        for step in 1..=6 {
+            let mean = access_ratio[&(group, step)].summary().mean;
+            print!(" {mean:>6.3}");
+        }
+        println!();
+    }
+
+    // Headline numbers the paper reports for the same figure.
+    let speedup_max: f64 = groups
+        .iter()
+        .flat_map(|g| {
+            let base = utils[&(*g, 1)].samples().to_vec();
+            let full = utils[&(*g, 6)].samples().to_vec();
+            base.into_iter()
+                .zip(full)
+                .map(|(b, f)| f / b)
+                .collect::<Vec<_>>()
+        })
+        .fold(0.0, f64::max);
+    let access_min: f64 = groups
+        .iter()
+        .map(|g| access_ratio[&(*g, 6)].samples().iter().copied().fold(f64::MAX, f64::min))
+        .fold(f64::MAX, f64::min);
+    println!("\nheadline: max speedup 6 vs 1 = {speedup_max:.2}x (paper: up to 2.89x)");
+    println!(
+        "headline: max access reduction = {:.2}% (paper: up to 21.15%)",
+        100.0 * (1.0 - access_min)
+    );
+}

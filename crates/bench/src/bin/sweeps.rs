@@ -1,0 +1,138 @@
+//! Design-choice ablation sweeps (DESIGN.md §5): prints the simulated
+//! utilization behind the `design_sweeps` Criterion benches.
+//!
+//! * per-channel data FIFO depth (`D_DBf`) under FIMA pressure;
+//! * addressing-mode selection (FIMA / GIMA group sizes / NIMA-style) on a
+//!   fixed GeMM;
+//! * bank-count scaling of the scratchpad.
+
+use dm_compiler::{BufferDepths, FeatureSet};
+use dm_mem::MemConfig;
+use dm_system::SystemConfig;
+use dm_workloads::GemmSpec;
+
+fn main() {
+    let workload = GemmSpec::new(64, 64, 64).into();
+
+    println!("FIFO depth sweep (GeMM-64, FIMA placement — conflicts must be absorbed):");
+    println!("{:<8} {:>12} {:>12} {:>10}", "D_DBf", "utilization", "conflicts", "cycles");
+    dm_bench::rule(46);
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = SystemConfig {
+            depths: BufferDepths {
+                data: depth,
+                ..BufferDepths::default()
+            },
+            features: FeatureSet::ablation_step(5),
+            check_output: false,
+            ..SystemConfig::default()
+        };
+        let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+        println!(
+            "{:<8} {:>11.2}% {:>12} {:>10}",
+            depth,
+            100.0 * r.utilization(),
+            r.conflicts,
+            r.total_cycles()
+        );
+    }
+
+    println!("\naddressing-mode effect (GeMM-64) — the Fig. 5(d) trade-off:");
+    println!("{:<26} {:>12} {:>12}", "placement", "utilization", "conflicts");
+    dm_bench::rule(52);
+    for (name, step) in [("FIMA (shared space)", 5usize), ("GIMA (bank groups)", 6)] {
+        let cfg = SystemConfig {
+            check_output: false,
+            ..SystemConfig::default()
+        }
+        .with_features(FeatureSet::ablation_step(step));
+        let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+        println!(
+            "{:<26} {:>11.2}% {:>12}",
+            name,
+            100.0 * r.utilization(),
+            r.conflicts
+        );
+    }
+    {
+        use dm_compiler::{compile_gemm_private_banks, BufferDepths};
+        use dm_system::run_compiled;
+        use dm_workloads::WorkloadData;
+        let cfg = SystemConfig {
+            check_output: false,
+            ..SystemConfig::default()
+        };
+        let data = WorkloadData::generate(workload, 1);
+        let program =
+            compile_gemm_private_banks(&data, &cfg.features, &cfg.mem, BufferDepths::default())
+                .expect("fits");
+        let r = run_compiled(&cfg, &data, &program).expect("runs");
+        println!(
+            "{:<26} {:>11.2}% {:>12}",
+            "NIMA (private banks)",
+            100.0 * r.utilization(),
+            r.conflicts
+        );
+        // …and its tiling constraint: the same placement refuses a GeMM
+        // whose per-bank slice exceeds one bank.
+        let big = WorkloadData::generate(
+            dm_workloads::GemmSpec::new(4096, 32, 4096).into(),
+            1,
+        );
+        let refused =
+            compile_gemm_private_banks(&big, &cfg.features, &cfg.mem, BufferDepths::default());
+        println!(
+            "{:<26} {}",
+            "NIMA on 4096x32x4096",
+            match refused {
+                Err(e) => format!("refused: {e}"),
+                Ok(_) => "unexpectedly accepted".to_string(),
+            }
+        );
+    }
+
+    println!("\nmemory-latency tolerance (GeMM-64): fine-grained prefetch vs coarse");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "latency", "prefetch util", "coarse util"
+    );
+    dm_bench::rule(44);
+    for latency in [1u64, 2, 4, 8] {
+        let mut utils = Vec::new();
+        for step in [6usize, 1] {
+            let cfg = SystemConfig {
+                read_latency: latency,
+                check_output: false,
+                ..SystemConfig::default()
+            }
+            .with_features(FeatureSet::ablation_step(step));
+            let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+            utils.push(r.utilization());
+        }
+        println!(
+            "{:<10} {:>15.2}% {:>15.2}%",
+            latency,
+            100.0 * utils[0],
+            100.0 * utils[1]
+        );
+    }
+
+    println!("\nbank-count scaling (GeMM-64, fully featured):");
+    println!("{:<8} {:>12} {:>12}", "banks", "utilization", "conflicts");
+    dm_bench::rule(34);
+    for banks in [8usize, 16, 32, 64] {
+        let rows = 16 * 1024 * 1024 / (banks * 8);
+        let cfg = SystemConfig {
+            mem: MemConfig::new(banks, 8, rows.next_power_of_two()).expect("geometry"),
+            check_output: false,
+            ..SystemConfig::default()
+        };
+        let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+        println!(
+            "{:<8} {:>11.2}% {:>12}",
+            banks,
+            100.0 * r.utilization(),
+            r.conflicts
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates Table III: GeMM-core utilization of the DataMaestro-boosted
+//! accelerator under real-world DNN workloads.
+//!
+//! Each network's layers run one by one on the fully featured system;
+//! utilization follows the paper's footnote — theoretical computation
+//! cycles without memory stalls over the active cycles, aggregated over the
+//! whole network (layers weighted by their repeat counts).
+//!
+//! Pass `--quick` to simulate ResNet-18 only.
+
+use dm_system::SystemConfig;
+use dm_workloads::table3_models;
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown option: {other} (supported: --quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let paper = [
+        ("ResNet-18", "CNN", 95.45),
+        ("VGG-16", "CNN", 100.00),
+        ("ViT-B-16", "Transformer", 99.98),
+        ("BERT-Base", "Transformer", 97.85),
+    ];
+    println!("Table III: GeMM core utilization under real-world DNN workloads");
+    println!(
+        "{:<12} {:<12} {:>14} {:>12}",
+        "network", "type", "measured util", "paper util"
+    );
+    dm_bench::rule(54);
+    let cfg = SystemConfig::default();
+    for (model, (_, _, paper_util)) in table3_models().iter().zip(paper) {
+        if quick && model.name != "ResNet-18" {
+            continue;
+        }
+        let mut ideal = 0u64;
+        let mut total = 0u64;
+        for (i, layer) in model.layers.iter().enumerate() {
+            let report = dm_bench::measure(&cfg, layer.workload, i as u64)
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", model.name, layer.name));
+            ideal += report.ideal_cycles * u64::from(layer.repeat);
+            total += report.total_cycles() * u64::from(layer.repeat);
+            eprintln!(
+                "  {:<12} {:<28} {:>8.2}%  ({} runs)",
+                model.name,
+                layer.name,
+                100.0 * report.utilization(),
+                layer.repeat
+            );
+        }
+        let util = 100.0 * ideal as f64 / total as f64;
+        println!(
+            "{:<12} {:<12} {:>13.2}% {:>11.2}%",
+            model.name, model.family, util, paper_util
+        );
+    }
+}

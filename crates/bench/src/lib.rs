@@ -1,0 +1,119 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` reproduces one table or figure of the
+//! paper's evaluation section:
+//!
+//! | binary  | reproduces |
+//! |---------|------------|
+//! | `table1` | Table I — feature matrix vs SotA |
+//! | `table2` | Table II — design-time / runtime parameters |
+//! | `fig7`   | Fig. 7 — ablation utilization box plots + access counts |
+//! | `fig8`   | Fig. 8 — FPGA resource utilization |
+//! | `fig9`   | Fig. 9 — area and power breakdowns |
+//! | `table3` | Table III — real-network GeMM-core utilization |
+//! | `fig10`  | Fig. 10 — normalized throughput + data-movement cost vs SotA |
+//!
+//! Run them with `cargo run -p dm-bench --release --bin <name>`.
+
+use dm_system::{run_workload, RunReport, SystemConfig, SystemError};
+use dm_workloads::{Workload, WorkloadData};
+
+/// Representative DNN kernels used by the Fig. 10 throughput comparison.
+///
+/// The mix mirrors the paper's framing: Transformer projection and
+/// attention GeMMs, CNN body and stem convolutions, and the strided
+/// downsampling layers every system struggles with.
+#[must_use]
+pub fn representative_kernels() -> Vec<(&'static str, Workload)> {
+    use dm_workloads::{ConvSpec, GemmSpec};
+    vec![
+        ("GeMM-64", GemmSpec::new(64, 64, 64).into()),
+        ("GeMM 128x768x768", GemmSpec::new(128, 768, 768).into()),
+        ("Attention 128x128x64", GemmSpec::new(128, 128, 64).into()),
+        ("tGeMM-64", GemmSpec::transposed(64, 64, 64).into()),
+        (
+            "Conv3x3 56x56x64",
+            ConvSpec::new(58, 58, 64, 64, 3, 3, 1).into(),
+        ),
+        (
+            "Conv3x3/2 down",
+            ConvSpec::new(58, 58, 64, 128, 3, 3, 2).into(),
+        ),
+        (
+            "Conv1x1/2 shortcut",
+            ConvSpec::new(56, 56, 64, 128, 1, 1, 2).into(),
+        ),
+        (
+            "Conv3x3 stem (cin 8)",
+            ConvSpec::new(58, 58, 8, 64, 3, 3, 1).into(),
+        ),
+    ]
+}
+
+/// Runs one workload on the given system without golden checking (the
+/// harness runs many large workloads; functional correctness is covered by
+/// the test suite on the same code paths).
+///
+/// # Errors
+///
+/// Propagates any [`SystemError`] from the simulation.
+pub fn measure(config: &SystemConfig, workload: Workload, seed: u64) -> Result<RunReport, SystemError> {
+    let data = WorkloadData::generate(workload, seed);
+    let cfg = SystemConfig {
+        check_output: false,
+        ..*config
+    };
+    run_workload(&cfg, &data)
+}
+
+/// Formats a ratio as a percentage with two decimals.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Prints a horizontal rule sized for the standard table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_cover_all_groups() {
+        use dm_workloads::WorkloadGroup;
+        let kernels = representative_kernels();
+        assert!(kernels.len() >= 6);
+        for group in [
+            WorkloadGroup::Gemm,
+            WorkloadGroup::TransposedGemm,
+            WorkloadGroup::Conv,
+        ] {
+            assert!(
+                kernels.iter().any(|(_, w)| w.group() == group),
+                "missing {group}"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_runs_without_check() {
+        use dm_workloads::GemmSpec;
+        let report = measure(
+            &SystemConfig::default(),
+            GemmSpec::new(16, 16, 16).into(),
+            1,
+        )
+        .unwrap();
+        assert!(!report.checked);
+        assert!(report.utilization() > 0.5);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.12345), "12.35%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

@@ -1,0 +1,200 @@
+//! Design-time configurations of the evaluation system's five DataMaestros
+//! (Fig. 6 of the paper).
+//!
+//! All streamers expose power-of-two spatial bounds (`[2,2,2]` and
+//! `[2;5]`): any 8- or 32-channel affine fan-out — contiguous tiles,
+//! strided pixels, split `ox/oy` pixel tiles — is then programmable purely
+//! through the runtime spatial strides, which is what makes one design
+//! serve GeMM, transposed GeMM and convolutions alike.
+
+use datamaestro::{ConfigError, DesignConfig, ExtensionKind, StreamerMode};
+
+use crate::features::FeatureSet;
+
+/// Buffer depths used when instantiating streamers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferDepths {
+    /// Per-channel data FIFO depth of read streamers (`D_DBf`).
+    pub data: usize,
+    /// Per-channel data FIFO depth of write streamers. Writers only buffer
+    /// the drain of one result burst, so they are built shallower.
+    pub write_data: usize,
+    /// Address buffer depth (`D_ABf`).
+    pub addr: usize,
+}
+
+impl Default for BufferDepths {
+    /// The evaluation system's defaults: depth-8 read FIFOs, depth-2 write
+    /// FIFOs.
+    fn default() -> Self {
+        BufferDepths {
+            data: 8,
+            write_data: 2,
+            addr: 8,
+        }
+    }
+}
+
+/// DataMaestro A: the activation reader. 8 channels, 6-D temporal AGU
+/// (enough for implicit im2col), Transposer extension instantiated (bypassed
+/// at runtime except for transposed GeMM).
+pub fn design_a(features: &FeatureSet, depths: BufferDepths) -> Result<DesignConfig, ConfigError> {
+    let mut b = DesignConfig::builder("A", StreamerMode::Read)
+        .spatial_bounds([2, 2, 2])
+        .temporal_dims(6)
+        .data_buffer_depth(depths.data)
+        .addr_buffer_depth(depths.addr)
+        .fine_grained_prefetch(features.fine_grained_prefetch);
+    if features.transposer {
+        b = b.extension(ExtensionKind::Transposer {
+            rows: 8,
+            cols: 8,
+            elem_bytes: 1,
+        });
+    }
+    b.build()
+}
+
+/// DataMaestro B: the weight reader. 8 channels, 6-D temporal AGU.
+pub fn design_b(features: &FeatureSet, depths: BufferDepths) -> Result<DesignConfig, ConfigError> {
+    DesignConfig::builder("B", StreamerMode::Read)
+        .spatial_bounds([2, 2, 2])
+        .temporal_dims(6)
+        .data_buffer_depth(depths.data)
+        .addr_buffer_depth(depths.addr)
+        .fine_grained_prefetch(features.fine_grained_prefetch)
+        .build()
+}
+
+/// DataMaestro C: the bias reader. With the Broadcaster feature it needs
+/// only 4 channels (one bias row, duplicated 8× on the fly); without it, a
+/// plain 32-channel reader fetching fully materialized bias tiles.
+pub fn design_c(features: &FeatureSet, depths: BufferDepths) -> Result<DesignConfig, ConfigError> {
+    if features.broadcaster {
+        DesignConfig::builder("C", StreamerMode::Read)
+            .spatial_bounds([2, 2])
+            .temporal_dims(6)
+            .data_buffer_depth(depths.data)
+            .addr_buffer_depth(depths.addr)
+            .fine_grained_prefetch(features.fine_grained_prefetch)
+            .extension(ExtensionKind::Broadcaster { factor: 8 })
+            .build()
+    } else {
+        DesignConfig::builder("C", StreamerMode::Read)
+            .spatial_bounds([2, 2, 2, 2, 2])
+            .temporal_dims(6)
+            .data_buffer_depth(depths.data)
+            .addr_buffer_depth(depths.addr)
+            .fine_grained_prefetch(features.fine_grained_prefetch)
+            .build()
+    }
+}
+
+/// DataMaestro D: the raw int32 result writer (32 channels).
+pub fn design_d(features: &FeatureSet, depths: BufferDepths) -> Result<DesignConfig, ConfigError> {
+    DesignConfig::builder("D", StreamerMode::Write)
+        .spatial_bounds([2, 2, 2, 2, 2])
+        .temporal_dims(6)
+        .data_buffer_depth(depths.write_data)
+        .addr_buffer_depth(depths.addr)
+        .fine_grained_prefetch(features.fine_grained_prefetch)
+        .build()
+}
+
+/// DataMaestro E: the quantized int8 result writer (8 channels).
+pub fn design_e(features: &FeatureSet, depths: BufferDepths) -> Result<DesignConfig, ConfigError> {
+    DesignConfig::builder("E", StreamerMode::Write)
+        .spatial_bounds([2, 2, 2])
+        .temporal_dims(6)
+        .data_buffer_depth(depths.write_data)
+        .addr_buffer_depth(depths.addr)
+        .fine_grained_prefetch(features.fine_grained_prefetch)
+        .build()
+}
+
+/// Spatial strides for three binary digits covering an `sx × sy` pixel
+/// tile: the first `log2(sx)` digits step by `step_x` powers, the rest by
+/// `step_y` powers.
+#[must_use]
+pub fn pixel_spatial_strides(sx: usize, step_x: i64, step_y: i64) -> Vec<i64> {
+    debug_assert!(sx.is_power_of_two() && sx <= 8);
+    let mut strides = Vec::with_capacity(3);
+    let mut factor = 1usize;
+    for _ in 0..3 {
+        if factor < sx {
+            strides.push(step_x * factor as i64);
+        } else {
+            strides.push(step_y * (factor / sx) as i64);
+        }
+        factor *= 2;
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamaestro::agu::SpatialAgu;
+
+    #[test]
+    fn channel_counts_match_port_widths() {
+        let f = FeatureSet::full();
+        let d = BufferDepths::default();
+        assert_eq!(design_a(&f, d).unwrap().num_channels(), 8);
+        assert_eq!(design_b(&f, d).unwrap().num_channels(), 8);
+        assert_eq!(design_c(&f, d).unwrap().num_channels(), 4);
+        assert_eq!(design_d(&f, d).unwrap().num_channels(), 32);
+        assert_eq!(design_e(&f, d).unwrap().num_channels(), 8);
+    }
+
+    #[test]
+    fn broadcaster_off_widens_c() {
+        let f = FeatureSet::baseline();
+        let c = design_c(&f, BufferDepths::default()).unwrap();
+        assert_eq!(c.num_channels(), 32);
+        assert!(c.extensions().is_empty());
+    }
+
+    #[test]
+    fn transposer_only_with_feature() {
+        let d = BufferDepths::default();
+        assert_eq!(
+            design_a(&FeatureSet::full(), d).unwrap().extensions().len(),
+            1
+        );
+        assert!(design_a(&FeatureSet::baseline(), d)
+            .unwrap()
+            .extensions()
+            .is_empty());
+    }
+
+    #[test]
+    fn pixel_strides_cover_all_factorizations() {
+        // sx = 8: pure x walk.
+        assert_eq!(pixel_spatial_strides(8, 10, 999), vec![10, 20, 40]);
+        // sx = 4, sy = 2.
+        assert_eq!(pixel_spatial_strides(4, 10, 100), vec![10, 20, 100]);
+        // sx = 2, sy = 4.
+        assert_eq!(pixel_spatial_strides(2, 10, 100), vec![10, 100, 200]);
+        // sx = 1: pure y walk.
+        assert_eq!(pixel_spatial_strides(1, 999, 100), vec![100, 200, 400]);
+    }
+
+    #[test]
+    fn pixel_strides_enumerate_the_tile() {
+        // Channel c must land at pixel (c % sx, c / sx).
+        for sx in [1usize, 2, 4, 8] {
+            let sy = 8 / sx;
+            let strides = pixel_spatial_strides(sx, 1, 1000);
+            let agu = SpatialAgu::new(&[2, 2, 2], &strides);
+            for c in 0..8 {
+                let expected = (c % sx) as i64 + 1000 * (c / sx) as i64;
+                assert_eq!(
+                    agu.offsets()[c],
+                    expected,
+                    "sx={sx} sy={sy} channel {c}"
+                );
+            }
+        }
+    }
+}

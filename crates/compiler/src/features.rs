@@ -1,0 +1,159 @@
+//! The ablation feature set (§IV-B, Fig. 7: configurations ① through ⑥).
+
+use serde::{Deserialize, Serialize};
+
+/// Which DataMaestro features are present in the built system.
+///
+/// The paper's ablation enables these cumulatively:
+/// ① none (plain data-movement units), ② + fine-grained prefetch,
+/// ③ + Transposer, ④ + Broadcaster, ⑤ + implicit im2col,
+/// ⑥ + addressing-mode switching (the full system).
+///
+/// # Examples
+///
+/// ```
+/// use dm_compiler::FeatureSet;
+///
+/// assert_eq!(FeatureSet::ablation_step(1), FeatureSet::baseline());
+/// assert_eq!(FeatureSet::ablation_step(6), FeatureSet::full());
+/// assert!(FeatureSet::ablation_step(3).transposer);
+/// assert!(!FeatureSet::ablation_step(3).broadcaster);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureSet {
+    /// §III-C: per-channel independent request issue.
+    pub fine_grained_prefetch: bool,
+    /// §III-E: on-the-fly tile transposition on the A stream.
+    pub transposer: bool,
+    /// §III-E: on-the-fly duplication on the C (bias/scale) stream.
+    pub broadcaster: bool,
+    /// §III-B: 6-D temporal AGU performing im2col implicitly.
+    pub implicit_im2col: bool,
+    /// §III-D: runtime FIMA/GIMA/NIMA selection with bank-group placement.
+    pub addr_mode_switching: bool,
+}
+
+impl FeatureSet {
+    /// The fully featured DataMaestro (⑥).
+    #[must_use]
+    pub const fn full() -> Self {
+        FeatureSet {
+            fine_grained_prefetch: true,
+            transposer: true,
+            broadcaster: true,
+            implicit_im2col: true,
+            addr_mode_switching: true,
+        }
+    }
+
+    /// The plain data-movement baseline (①).
+    #[must_use]
+    pub const fn baseline() -> Self {
+        FeatureSet {
+            fine_grained_prefetch: false,
+            transposer: false,
+            broadcaster: false,
+            implicit_im2col: false,
+            addr_mode_switching: false,
+        }
+    }
+
+    /// The cumulative ablation configuration for `step` ∈ 1..=6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is outside `1..=6`.
+    #[must_use]
+    pub fn ablation_step(step: usize) -> Self {
+        assert!((1..=6).contains(&step), "ablation steps are 1..=6");
+        FeatureSet {
+            fine_grained_prefetch: step >= 2,
+            transposer: step >= 3,
+            broadcaster: step >= 4,
+            implicit_im2col: step >= 5,
+            addr_mode_switching: step >= 6,
+        }
+    }
+
+    /// The circled label used in the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match (
+            self.fine_grained_prefetch,
+            self.transposer,
+            self.broadcaster,
+            self.implicit_im2col,
+            self.addr_mode_switching,
+        ) {
+            (false, false, false, false, false) => "1:baseline",
+            (true, false, false, false, false) => "2:+prefetch",
+            (true, true, false, false, false) => "3:+transposer",
+            (true, true, true, false, false) => "4:+broadcaster",
+            (true, true, true, true, false) => "5:+im2col",
+            (true, true, true, true, true) => "6:+mode-switching",
+            _ => "custom",
+        }
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        FeatureSet::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_is_cumulative() {
+        let mut previous = 0;
+        for step in 1..=6 {
+            let f = FeatureSet::ablation_step(step);
+            let count = [
+                f.fine_grained_prefetch,
+                f.transposer,
+                f.broadcaster,
+                f.implicit_im2col,
+                f.addr_mode_switching,
+            ]
+            .iter()
+            .filter(|&&x| x)
+            .count();
+            assert_eq!(count, step - 1);
+            assert!(count >= previous);
+            previous = count;
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            (1..=6).map(|s| FeatureSet::ablation_step(s).label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(FeatureSet::default(), FeatureSet::full());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=6")]
+    fn step_zero_panics() {
+        let _ = FeatureSet::ablation_step(0);
+    }
+
+    #[test]
+    fn custom_combination_labeled_custom() {
+        let f = FeatureSet {
+            fine_grained_prefetch: false,
+            transposer: true,
+            broadcaster: false,
+            implicit_im2col: false,
+            addr_mode_switching: false,
+        };
+        assert_eq!(f.label(), "custom");
+    }
+}

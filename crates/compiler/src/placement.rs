@@ -1,0 +1,234 @@
+//! Operand placement: bank-group-aware region allocation.
+//!
+//! With addressing-mode switching enabled (§III-D), the compiler places each
+//! operand in its own *bank group* under a GIMA view so that different
+//! streams never compete for the same banks. Without switching, everything
+//! lives in one linear FIMA space — the conventional layout, where
+//! inter-operand bank conflicts are unavoidable.
+
+use dm_mem::{AddressingMode, MemConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CompileError;
+
+/// A placed region: a linear address window valid under a specific
+/// addressing-mode view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// First byte address (in the view's linear space).
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// The view the region's addresses are interpreted under.
+    pub mode: AddressingMode,
+}
+
+impl Region {
+    /// One-past-the-end address.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+}
+
+/// Allocates operand regions inside one addressing-mode window.
+///
+/// Under a GIMA(`g`) view, the linear span
+/// `[group_index·g·rows·W, (group_index+1)·g·rows·W)` maps exactly onto the
+/// physical banks `group_index·g .. (group_index+1)·g` — so placing two
+/// operands in windows with disjoint physical banks guarantees they never
+/// conflict, even across different group sizes.
+#[derive(Debug, Clone)]
+pub struct BankWindow {
+    mode: AddressingMode,
+    base: u64,
+    len: u64,
+    cursor: u64,
+    first_bank: usize,
+    num_banks: usize,
+}
+
+impl BankWindow {
+    /// Alignment of every allocation (one 8×8 int32 tile).
+    pub const ALIGN: u64 = 256;
+
+    /// Opens the window covering physical banks
+    /// `first_bank..first_bank + num_banks` under the GIMA(`num_banks`)
+    /// view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Placement`] if the bank range is not a
+    /// power-of-two-sized, aligned slice of the memory.
+    pub fn grouped(
+        mem: &MemConfig,
+        first_bank: usize,
+        num_banks: usize,
+    ) -> Result<Self, CompileError> {
+        if !num_banks.is_power_of_two()
+            || !first_bank.is_multiple_of(num_banks)
+            || first_bank + num_banks > mem.num_banks()
+        {
+            return Err(CompileError::Placement {
+                reason: format!(
+                    "banks {first_bank}..{} not an aligned power-of-two group",
+                    first_bank + num_banks
+                ),
+            });
+        }
+        let group_bytes =
+            (num_banks * mem.rows_per_bank() * mem.bank_width_bytes()) as u64;
+        let group_index = (first_bank / num_banks) as u64;
+        Ok(BankWindow {
+            mode: AddressingMode::GroupedInterleaved {
+                group_banks: num_banks,
+            },
+            base: group_index * group_bytes,
+            len: group_bytes,
+            cursor: group_index * group_bytes,
+            first_bank,
+            num_banks,
+        })
+    }
+
+    /// Opens the whole memory as one linear FIMA window (the
+    /// no-mode-switching layout).
+    #[must_use]
+    pub fn linear(mem: &MemConfig) -> Self {
+        BankWindow {
+            mode: AddressingMode::FullyInterleaved,
+            base: 0,
+            len: mem.capacity_bytes(),
+            cursor: 0,
+            first_bank: 0,
+            num_banks: mem.num_banks(),
+        }
+    }
+
+    /// The view this window allocates under.
+    #[must_use]
+    pub fn mode(&self) -> AddressingMode {
+        self.mode
+    }
+
+    /// Physical banks covered: `(first, count)`.
+    #[must_use]
+    pub fn banks(&self) -> (usize, usize) {
+        (self.first_bank, self.num_banks)
+    }
+
+    /// Bytes still available.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.base + self.len - self.cursor
+    }
+
+    /// Allocates `len` bytes (aligned up to [`ALIGN`](Self::ALIGN)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Placement`] when the window is exhausted —
+    /// the workload does not fit its bank group and must be tiled upstream.
+    pub fn alloc(&mut self, name: &str, len: u64) -> Result<Region, CompileError> {
+        let padded = len.div_ceil(Self::ALIGN) * Self::ALIGN;
+        if padded > self.remaining() {
+            return Err(CompileError::Placement {
+                reason: format!(
+                    "operand {name} needs {padded} B, window over banks \
+                     {}..{} has {} B left",
+                    self.first_bank,
+                    self.first_bank + self.num_banks,
+                    self.remaining()
+                ),
+            });
+        }
+        let region = Region {
+            base: self.cursor,
+            len,
+            mode: self.mode,
+        };
+        self.cursor += padded;
+        Ok(region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_mem::AddressRemapper;
+
+    fn mem() -> MemConfig {
+        MemConfig::new(32, 8, 1024).unwrap()
+    }
+
+    #[test]
+    fn grouped_window_base_matches_group_index() {
+        let mem = mem();
+        let w = BankWindow::grouped(&mem, 16, 8).unwrap();
+        // Group 2 of GIMA(8): base = 2 × 8 banks × 1024 rows × 8 B.
+        assert_eq!(w.base, 2 * 8 * 1024 * 8);
+        assert_eq!(w.len, 8 * 1024 * 8);
+        assert_eq!(w.banks(), (16, 8));
+    }
+
+    #[test]
+    fn grouped_window_maps_to_its_banks_only() {
+        let mem = mem();
+        let mut w = BankWindow::grouped(&mem, 8, 8).unwrap();
+        let region = w.alloc("x", 4096).unwrap();
+        let remap = AddressRemapper::new(&mem, region.mode).unwrap();
+        for word in 0..(region.len / 8) {
+            let loc = remap.map_word((region.base + word * 8) / 8);
+            assert!(
+                (8..16).contains(&loc.bank),
+                "word {word} landed in bank {}",
+                loc.bank
+            );
+        }
+    }
+
+    #[test]
+    fn different_group_sizes_are_physically_disjoint() {
+        let mem = mem();
+        // GIMA(16) over banks 0..16 and GIMA(8) over banks 16..24.
+        let a = BankWindow::grouped(&mem, 0, 16).unwrap();
+        let b = BankWindow::grouped(&mem, 16, 8).unwrap();
+        let ra = AddressRemapper::new(&mem, a.mode()).unwrap();
+        let rb = AddressRemapper::new(&mem, b.mode()).unwrap();
+        let banks_a: std::collections::HashSet<usize> = (0..512)
+            .map(|w| ra.map_word((a.base + w * 8) / 8).bank)
+            .collect();
+        let banks_b: std::collections::HashSet<usize> = (0..512)
+            .map(|w| rb.map_word((b.base + w * 8) / 8).bank)
+            .collect();
+        assert!(banks_a.is_disjoint(&banks_b));
+    }
+
+    #[test]
+    fn alloc_bumps_and_aligns() {
+        let mem = mem();
+        let mut w = BankWindow::linear(&mem);
+        let r1 = w.alloc("a", 100).unwrap();
+        let r2 = w.alloc("b", 100).unwrap();
+        assert_eq!(r1.base, 0);
+        assert_eq!(r2.base, 256, "aligned to 256");
+        assert_eq!(r1.end(), 100);
+    }
+
+    #[test]
+    fn alloc_overflow_is_an_error() {
+        let mem = MemConfig::new(4, 8, 16).unwrap();
+        let mut w = BankWindow::linear(&mem);
+        assert!(w.alloc("big", 10_000).is_err());
+        let ok = w.alloc("fits", 512).unwrap();
+        assert_eq!(ok.len, 512);
+    }
+
+    #[test]
+    fn misaligned_group_rejected() {
+        let mem = mem();
+        assert!(BankWindow::grouped(&mem, 4, 8).is_err(), "unaligned start");
+        assert!(BankWindow::grouped(&mem, 0, 3).is_err(), "non power of two");
+        assert!(BankWindow::grouped(&mem, 24, 16).is_err(), "past the end");
+    }
+}

@@ -1,0 +1,213 @@
+//! Lowering of max-pooling workloads onto a streamer-built pooling system.
+//!
+//! This demonstrates the paper's *reusable design* claim with code: the
+//! pooling accelerator is assembled from exactly the same [`ReadStreamer`]
+//! / [`WriteStreamer`] building blocks as the GeMM system — one 8-channel
+//! reader walking the pooling windows with the N-D AGU (the same kind of
+//! 5-D pattern the convolution A stream uses), one 8-channel writer, and a
+//! trivial elementwise-max unit in between. Only this compiler function
+//! and the ~40-line reduction unit are pooling-specific.
+//!
+//! [`ReadStreamer`]: datamaestro::ReadStreamer
+//! [`WriteStreamer`]: datamaestro::WriteStreamer
+
+use datamaestro::{DesignConfig, RuntimeConfig, StreamerMode};
+use dm_mem::MemConfig;
+use dm_workloads::{layout, PoolSpec};
+
+use crate::designs::{pixel_spatial_strides, BufferDepths};
+use crate::error::CompileError;
+use crate::features::FeatureSet;
+use crate::lower::choose_pixel_tiling;
+use crate::placement::{BankWindow, Region};
+use crate::program::{OperandImage, StreamPlan};
+
+/// A lowered pooling workload.
+#[derive(Debug, Clone)]
+pub struct CompiledPool {
+    /// The workload.
+    pub spec: PoolSpec,
+    /// Input stream.
+    pub a: StreamPlan,
+    /// Output stream.
+    pub out: StreamPlan,
+    /// Input image to preload.
+    pub images: Vec<OperandImage>,
+    /// Window steps per output tile (k²).
+    pub k_steps: u64,
+    /// Output tiles produced.
+    pub total_output_tiles: u64,
+    /// Where the pooled result lands.
+    pub output_region: Region,
+}
+
+impl CompiledPool {
+    /// The golden output image for verification.
+    #[must_use]
+    pub fn expected_output_image(&self, input: &[i8]) -> Vec<u8> {
+        let golden = dm_accel::maxpool2d_ref(
+            input,
+            self.spec.h,
+            self.spec.w,
+            self.spec.c,
+            self.spec.k,
+            self.spec.stride,
+        );
+        layout::pack_conv_out_i8(&golden, self.spec.oh(), self.spec.ow(), self.spec.c)
+    }
+}
+
+/// Lowers a pooling workload over the given channels-last input tensor.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on placement failure or unmappable geometry.
+///
+/// # Panics
+///
+/// Panics if `input.len() != h·w·c`.
+pub fn compile_pool(
+    spec: PoolSpec,
+    input: &[i8],
+    features: &FeatureSet,
+    mem: &MemConfig,
+    depths: BufferDepths,
+) -> Result<CompiledPool, CompileError> {
+    assert_eq!(input.len(), spec.h * spec.w * spec.c, "input geometry");
+    let group_banks = if features.addr_mode_switching {
+        (mem.num_banks() / 4).max(1)
+    } else {
+        mem.num_banks()
+    };
+    let conv_view = spec.as_conv();
+    let (sx, sy) =
+        choose_pixel_tiling(&conv_view, group_banks).ok_or_else(|| CompileError::Unsupported {
+            reason: format!("output plane {}x{} has no 8-pixel tiling", spec.oh(), spec.ow()),
+        })?;
+    let (oh, ow) = (spec.oh(), spec.ow());
+    let (h, w, s, k) = (spec.h, spec.w, spec.stride, spec.k);
+    let cb = spec.c / 8;
+    let (ox_t, oy_t) = (ow / sx, oh / sy);
+
+    // Placement: input in the first bank group, output in the second (or
+    // both in one linear space without mode switching).
+    let in_bytes = layout::pack_conv_input(input, h, w, spec.c);
+    let (rin, rout) = if features.addr_mode_switching {
+        let quarter = (mem.num_banks() / 4).max(1);
+        let mut win_a = BankWindow::grouped(mem, 0, quarter)?;
+        let mut win_out = BankWindow::grouped(mem, quarter, quarter)?;
+        (
+            win_a.alloc("pool-input", in_bytes.len() as u64)?,
+            win_out.alloc("pool-output", (oh * ow * spec.c) as u64)?,
+        )
+    } else {
+        let mut linear = BankWindow::linear(mem);
+        (
+            linear.alloc("pool-input", in_bytes.len() as u64)?,
+            linear.alloc("pool-output", (oh * ow * spec.c) as u64)?,
+        )
+    };
+    let images = vec![OperandImage {
+        name: "pool-input".into(),
+        region: rin,
+        bytes: in_bytes,
+    }];
+
+    let a_design = DesignConfig::builder("pool-in", StreamerMode::Read)
+        .spatial_bounds([2, 2, 2])
+        .temporal_dims(5)
+        .data_buffer_depth(depths.data)
+        .addr_buffer_depth(depths.addr)
+        .fine_grained_prefetch(features.fine_grained_prefetch)
+        .build()?;
+    let a_runtime = RuntimeConfig::builder()
+        .base(rin.base)
+        .temporal(
+            [k as u64, k as u64, ox_t as u64, oy_t as u64, cb as u64],
+            [
+                8,
+                w as i64 * 8,
+                (sx * s) as i64 * 8,
+                (sy * s * w) as i64 * 8,
+                (h * w) as i64 * 8,
+            ],
+        )
+        .spatial_strides(pixel_spatial_strides(sx, s as i64 * 8, (s * w) as i64 * 8))
+        .addressing_mode(rin.mode)
+        .build();
+
+    let out_design = DesignConfig::builder("pool-out", StreamerMode::Write)
+        .spatial_bounds([2, 2, 2])
+        .temporal_dims(5)
+        .data_buffer_depth(depths.write_data)
+        .addr_buffer_depth(depths.addr)
+        .fine_grained_prefetch(features.fine_grained_prefetch)
+        .build()?;
+    let out_runtime = RuntimeConfig::builder()
+        .base(rout.base)
+        .temporal(
+            [ox_t as u64, oy_t as u64, cb as u64],
+            [sx as i64 * 8, (sy * ow) as i64 * 8, (oh * ow) as i64 * 8],
+        )
+        .spatial_strides(pixel_spatial_strides(sx, 8, ow as i64 * 8))
+        .addressing_mode(rout.mode)
+        .build();
+
+    Ok(CompiledPool {
+        spec,
+        a: StreamPlan {
+            design: a_design,
+            runtime: a_runtime,
+        },
+        out: StreamPlan {
+            design: out_design,
+            runtime: out_runtime,
+        },
+        images,
+        k_steps: (k * k) as u64,
+        total_output_tiles: (cb * ox_t * oy_t) as u64,
+        output_region: rout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_lowering_shapes() {
+        let spec = PoolSpec::new(16, 16, 16, 2, 2);
+        let input = vec![0i8; 16 * 16 * 16];
+        let mem = MemConfig::new(32, 8, 4096).unwrap();
+        let p = compile_pool(
+            spec,
+            &input,
+            &FeatureSet::full(),
+            &mem,
+            BufferDepths::default(),
+        )
+        .unwrap();
+        assert_eq!(p.k_steps, 4);
+        assert_eq!(p.total_output_tiles, (2 * 8)); // cb=2, ox_t·oy_t = 8
+        p.a.runtime.validate(&p.a.design).unwrap();
+        p.out.runtime.validate(&p.out.design).unwrap();
+        assert_eq!(p.images.len(), 1);
+        assert_eq!(p.output_region.len, 8 * 8 * 16);
+    }
+
+    #[test]
+    fn pool_uses_disjoint_groups_with_switching() {
+        let spec = PoolSpec::new(10, 10, 8, 3, 1);
+        let input = vec![1i8; 10 * 10 * 8];
+        let mem = MemConfig::new(32, 8, 4096).unwrap();
+        let p = compile_pool(
+            spec,
+            &input,
+            &FeatureSet::full(),
+            &mem,
+            BufferDepths::default(),
+        )
+        .unwrap();
+        assert_ne!(p.images[0].region.mode, dm_mem::AddressingMode::FullyInterleaved);
+    }
+}

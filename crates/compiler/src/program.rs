@@ -1,0 +1,185 @@
+//! The compiler's output: a fully lowered workload program.
+
+use datamaestro::{DesignConfig, RuntimeConfig};
+use dm_accel::RescaleParams;
+use dm_mem::AddressingMode;
+use dm_workloads::{layout, Workload, WorkloadData};
+use serde::{Deserialize, Serialize};
+
+use crate::features::FeatureSet;
+use crate::placement::Region;
+
+/// An operand image to preload into the scratchpad before the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperandImage {
+    /// Operand name (for traces and reports).
+    pub name: String,
+    /// Where (and under which view) the image lives.
+    pub region: Region,
+    /// The raw bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Where a copied word's bytes come from in a [`CopyPlan`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteSource {
+    /// The destination word is a verbatim copy of read number `i`.
+    Word(usize),
+    /// Each destination byte is gathered from a byte offset into the
+    /// concatenation of all read words (byte-level shuffles, e.g.
+    /// transposition).
+    Gather(Vec<usize>),
+}
+
+/// A memory-to-memory transformation pass executed by the system's copy
+/// engine when an on-the-fly feature is unavailable (explicit transpose,
+/// explicit im2col, bias materialization).
+///
+/// The plan is word-granular: `reads[i]` is the byte address of the `i`-th
+/// word to fetch; each `(addr, source)` in `writes` stores one word whose
+/// content derives from completed reads. Cycle cost and access counts come
+/// from replaying the plan through the simulated memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyPlan {
+    /// Pass name (e.g. `"explicit-transpose"`).
+    pub name: String,
+    /// View for the read addresses.
+    pub read_mode: AddressingMode,
+    /// View for the write addresses.
+    pub write_mode: AddressingMode,
+    /// Word-aligned byte addresses to read, in issue order.
+    pub reads: Vec<u64>,
+    /// Destination words.
+    pub writes: Vec<(u64, WriteSource)>,
+}
+
+impl CopyPlan {
+    /// Total words moved (reads + writes) — the pass's memory access count.
+    #[must_use]
+    pub fn words_moved(&self) -> u64 {
+        (self.reads.len() + self.writes.len()) as u64
+    }
+
+    /// The highest read index any write depends on, or `None` if there are
+    /// no writes. Used by the copy engine's dependency scoreboard.
+    #[must_use]
+    pub fn max_dependency(&self, write_idx: usize, word_bytes: usize) -> Option<usize> {
+        match &self.writes.get(write_idx)?.1 {
+            WriteSource::Word(i) => Some(*i),
+            WriteSource::Gather(offsets) => {
+                offsets.iter().map(|&o| o / word_bytes).max()
+            }
+        }
+    }
+}
+
+/// One stream port's lowered configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPlan {
+    /// Design-time instantiation.
+    pub design: DesignConfig,
+    /// Per-workload runtime configuration.
+    pub runtime: RuntimeConfig,
+}
+
+/// A fully lowered workload, ready for the evaluation system to execute.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    /// The source workload.
+    pub workload: Workload,
+    /// Features the system was built with.
+    pub features: FeatureSet,
+    /// Whether the output is quantized through the E stream (int8) or
+    /// written raw through the D stream (int32).
+    pub quantized: bool,
+    /// A-operand stream (activations / left matrix).
+    pub a: StreamPlan,
+    /// B-operand stream (weights / right matrix).
+    pub b: StreamPlan,
+    /// C-operand stream (bias).
+    pub c: StreamPlan,
+    /// Output stream (E when quantized, D otherwise).
+    pub out: StreamPlan,
+    /// Operand images to preload.
+    pub images: Vec<OperandImage>,
+    /// Pre-passes to run before the compute phase.
+    pub prepasses: Vec<CopyPlan>,
+    /// Temporal K steps accumulated per output tile.
+    pub k_steps: u64,
+    /// Total output tiles produced.
+    pub total_output_tiles: u64,
+    /// Quantization parameter (host CSR write).
+    pub rescale: RescaleParams,
+    /// Where the result lands.
+    pub output_region: Region,
+    /// For private-bank (NIMA) placements: one output region per channel
+    /// slice. Empty for the standard contiguous layouts.
+    pub output_slices: Vec<Region>,
+}
+
+impl CompiledWorkload {
+    /// Total temporal compute steps (tiles × k-steps) — equals the ideal
+    /// cycle count of the workload.
+    #[must_use]
+    pub fn total_steps(&self) -> u64 {
+        self.total_output_tiles * self.k_steps
+    }
+
+    /// For private-bank placements: the golden bytes of each output slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this program has no output slices or is not a quantized
+    /// GeMM (the only workload private-bank placement supports).
+    #[must_use]
+    pub fn expected_output_slice_images(&self, data: &WorkloadData) -> Vec<Vec<u8>> {
+        assert!(!self.output_slices.is_empty(), "not a sliced placement");
+        let Workload::Gemm(spec) = self.workload else {
+            panic!("sliced placement is GeMM-only");
+        };
+        crate::nima::expected_output_slices(spec, &data.expected_e())
+    }
+
+    /// The golden byte image the output region must hold after a correct
+    /// run.
+    #[must_use]
+    pub fn expected_output_image(&self, data: &WorkloadData) -> Vec<u8> {
+        match (self.workload, self.quantized) {
+            (Workload::Gemm(g), true) => {
+                layout::pack_gemm_e(&data.expected_e(), g.m, g.n)
+            }
+            (Workload::Gemm(g), false) => {
+                layout::pack_gemm_cd(&data.expected_d(), g.m, g.n)
+            }
+            (Workload::Conv(c), true) => {
+                layout::pack_conv_out_i8(&data.expected_e(), c.oh(), c.ow(), c.c_out)
+            }
+            (Workload::Conv(c), false) => {
+                layout::pack_conv_out_i32(&data.expected_d(), c.oh(), c.ow(), c.c_out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_plan_dependency_tracking() {
+        let plan = CopyPlan {
+            name: "t".into(),
+            read_mode: AddressingMode::FullyInterleaved,
+            write_mode: AddressingMode::FullyInterleaved,
+            reads: vec![0, 8, 16],
+            writes: vec![
+                (100, WriteSource::Word(2)),
+                (108, WriteSource::Gather(vec![0, 1, 2, 3, 8, 9, 10, 11])),
+            ],
+        };
+        assert_eq!(plan.words_moved(), 5);
+        assert_eq!(plan.max_dependency(0, 8), Some(2));
+        assert_eq!(plan.max_dependency(1, 8), Some(1));
+        assert_eq!(plan.max_dependency(5, 8), None);
+    }
+}

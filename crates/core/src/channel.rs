@@ -1,0 +1,483 @@
+//! Per-channel Memory Interface Controllers (§III-C, Fig. 2b).
+//!
+//! A DataMaestro splits one wide accelerator word across `N_C` independent
+//! channels. Each read channel owns a MIC — an Outstanding Request Manager
+//! (ORM) that reserves a data-FIFO slot before the Request Side Controller
+//! (RSC) may issue, guaranteeing every in-flight response a landing slot —
+//! plus the data FIFO itself. Channels run ahead of each other freely; this
+//! *fine-grained prefetch* is what hides bank-conflict and latency stalls
+//! from the accelerator.
+
+use std::collections::VecDeque;
+
+use dm_mem::{BankLocation, MemOp, MemRequest, MemResponse, MemorySubsystem, RequesterId};
+use dm_sim::{Counter, Fifo, ReservedSlot};
+use serde::{Deserialize, Serialize};
+
+/// Per-channel event counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Requests granted by the crossbar.
+    pub granted: Counter,
+    /// Cycles a request was submitted but lost arbitration (bank conflict).
+    pub retries: Counter,
+    /// Responses received (read channels only).
+    pub responses: Counter,
+}
+
+/// A read channel: MIC + data FIFO.
+#[derive(Debug)]
+pub struct ReadChannel {
+    requester: RequesterId,
+    fifo: Fifo<Vec<u8>>,
+    addr_queue: VecDeque<u64>,
+    addr_capacity: usize,
+    /// Request accepted by the RSC but not yet granted by the crossbar.
+    pending: Option<(BankLocation, u64)>,
+    /// Reserved FIFO slots for the pending + in-flight requests, issue order.
+    slots: VecDeque<ReservedSlot>,
+    next_tag: u64,
+    expected_tag: u64,
+    stats: ChannelStats,
+}
+
+impl ReadChannel {
+    /// Creates a read channel with the given FIFO depth and address-buffer
+    /// depth, bound to a registered crossbar requester.
+    #[must_use]
+    pub fn new(requester: RequesterId, fifo_depth: usize, addr_depth: usize) -> Self {
+        ReadChannel {
+            requester,
+            fifo: Fifo::new(fifo_depth),
+            addr_queue: VecDeque::with_capacity(addr_depth),
+            addr_capacity: addr_depth,
+            pending: None,
+            slots: VecDeque::new(),
+            next_tag: 0,
+            expected_tag: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The channel's crossbar requester id.
+    #[must_use]
+    pub fn requester(&self) -> RequesterId {
+        self.requester
+    }
+
+    /// `true` if the address buffer can take another address.
+    #[must_use]
+    pub fn has_addr_space(&self) -> bool {
+        self.addr_queue.len() < self.addr_capacity
+    }
+
+    /// Enqueues a channel address produced by the spatial AGU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address buffer is full; callers gate on
+    /// [`has_addr_space`](Self::has_addr_space).
+    pub fn push_addr(&mut self, addr: u64) {
+        assert!(self.has_addr_space(), "address buffer overflow");
+        self.addr_queue.push_back(addr);
+    }
+
+    /// `true` while a request is waiting for a grant.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Requests granted but whose responses are still in flight, plus the
+    /// pending request if any.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the channel holds no data, no reservations and no pending
+    /// or queued work.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.fifo.committed() == 0 && self.pending.is_none() && self.addr_queue.is_empty()
+    }
+
+    /// `true` if the channel holds no data and no in-flight requests (its
+    /// address queue may still hold future work).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.fifo.committed() == 0 && self.pending.is_none()
+    }
+
+    /// RSC step: if allowed, convert the next queued address into a pending
+    /// request, reserving a FIFO slot through the ORM. Returns `true` if a
+    /// new request was started.
+    pub fn try_start_request(&mut self, map: impl FnOnce(u64) -> BankLocation) -> bool {
+        if self.pending.is_some() {
+            return false;
+        }
+        let Some(&addr) = self.addr_queue.front() else {
+            return false;
+        };
+        let Some(slot) = self.fifo.try_reserve() else {
+            return false; // ORM throttles: no landing slot available.
+        };
+        self.addr_queue.pop_front();
+        self.slots.push_back(slot);
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.pending = Some((map(addr), tag));
+        true
+    }
+
+    /// Submits the pending request (new or retried) to the crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on subsystem protocol violations (unknown requester, double
+    /// submission), which indicate simulator bugs.
+    pub fn submit(&mut self, mem: &mut MemorySubsystem) {
+        if let Some((loc, tag)) = self.pending {
+            mem.submit(MemRequest {
+                requester: self.requester,
+                loc,
+                tag,
+                op: MemOp::Read,
+            })
+            .expect("read channel submission accepted");
+        }
+    }
+
+    /// Consumes the grant flag for this channel after arbitration.
+    pub fn handle_grant(&mut self, granted: bool) {
+        if self.pending.is_none() {
+            return;
+        }
+        if granted {
+            self.pending = None;
+            self.stats.granted.inc();
+        } else {
+            self.stats.retries.inc();
+        }
+    }
+
+    /// Lands a memory response into the reserved FIFO slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if responses arrive out of order or without a reservation —
+    /// both would be simulator bugs given the in-order memory model.
+    pub fn handle_response(&mut self, response: MemResponse) {
+        assert_eq!(response.requester, self.requester, "misrouted response");
+        assert_eq!(
+            response.tag, self.expected_tag,
+            "read response out of order"
+        );
+        self.expected_tag += 1;
+        let slot = self
+            .slots
+            .pop_front()
+            .expect("response without reserved slot");
+        self.fifo.fill_reserved(slot, response.data);
+        self.stats.responses.inc();
+    }
+
+    /// `true` if a word is ready at the FIFO head.
+    #[must_use]
+    pub fn has_data(&self) -> bool {
+        !self.fifo.is_empty()
+    }
+
+    /// Pops the word at the FIFO head.
+    #[must_use]
+    pub fn pop(&mut self) -> Option<Vec<u8>> {
+        self.fifo.pop()
+    }
+
+    /// Channel statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Peak FIFO occupancy observed.
+    #[must_use]
+    pub fn fifo_high_watermark(&self) -> usize {
+        self.fifo.high_watermark()
+    }
+}
+
+/// A write channel: address/data pairing FIFO plus the write-side MIC.
+#[derive(Debug)]
+pub struct WriteChannel {
+    requester: RequesterId,
+    fifo: Fifo<(BankLocation, Vec<u8>)>,
+    addr_queue: VecDeque<u64>,
+    addr_capacity: usize,
+    stats: ChannelStats,
+}
+
+impl WriteChannel {
+    /// Creates a write channel.
+    #[must_use]
+    pub fn new(requester: RequesterId, fifo_depth: usize, addr_depth: usize) -> Self {
+        WriteChannel {
+            requester,
+            fifo: Fifo::new(fifo_depth),
+            addr_queue: VecDeque::with_capacity(addr_depth),
+            addr_capacity: addr_depth,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The channel's crossbar requester id.
+    #[must_use]
+    pub fn requester(&self) -> RequesterId {
+        self.requester
+    }
+
+    /// `true` if the address buffer can take another address.
+    #[must_use]
+    pub fn has_addr_space(&self) -> bool {
+        self.addr_queue.len() < self.addr_capacity
+    }
+
+    /// Enqueues a destination address produced by the AGU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address buffer is full.
+    pub fn push_addr(&mut self, addr: u64) {
+        assert!(self.has_addr_space(), "address buffer overflow");
+        self.addr_queue.push_back(addr);
+    }
+
+    /// `true` if the channel can accept one more data word (needs both a
+    /// FIFO slot and a queued destination address).
+    #[must_use]
+    pub fn can_accept(&self) -> bool {
+        self.fifo.has_free_slot() && !self.addr_queue.is_empty()
+    }
+
+    /// Accepts one data word, pairing it with the next queued address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`can_accept`](Self::can_accept) is false.
+    pub fn accept(&mut self, data: Vec<u8>, map: impl FnOnce(u64) -> BankLocation) {
+        let addr = self
+            .addr_queue
+            .pop_front()
+            .expect("write accept without queued address");
+        let loc = map(addr);
+        self.fifo
+            .push((loc, data))
+            .unwrap_or_else(|_| panic!("write fifo overflow"));
+    }
+
+    /// Number of words waiting to drain.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// `true` if the channel holds no data and no queued addresses.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.fifo.is_empty() && self.addr_queue.is_empty()
+    }
+
+    /// `true` if the channel holds no data (addresses may remain queued).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Submits the head word as a write request, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics on subsystem protocol violations (simulator bugs).
+    pub fn submit(&mut self, mem: &mut MemorySubsystem) {
+        if let Some((loc, data)) = self.fifo.peek() {
+            mem.submit(MemRequest {
+                requester: self.requester,
+                loc: *loc,
+                tag: 0,
+                op: MemOp::Write {
+                    data: data.clone(),
+                    mask: None,
+                },
+            })
+            .expect("write channel submission accepted");
+        }
+    }
+
+    /// Consumes the grant flag: a granted write retires the head word.
+    pub fn handle_grant(&mut self, granted: bool) {
+        if self.fifo.is_empty() {
+            return;
+        }
+        if granted {
+            let _ = self.fifo.pop();
+            self.stats.granted.inc();
+        } else {
+            self.stats.retries.inc();
+        }
+    }
+
+    /// Channel statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Peak FIFO occupancy observed.
+    #[must_use]
+    pub fn fifo_high_watermark(&self) -> usize {
+        self.fifo.high_watermark()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_mem::MemConfig;
+
+    fn mem_with(n: usize) -> (MemorySubsystem, Vec<RequesterId>) {
+        let mut mem = MemorySubsystem::new(MemConfig::new(4, 8, 64).unwrap());
+        let ids = (0..n).map(|i| mem.register_requester(format!("ch{i}"))).collect();
+        (mem, ids)
+    }
+
+    #[test]
+    fn read_channel_full_request_lifecycle() {
+        let (mut mem, ids) = mem_with(1);
+        mem.scratchpad_mut()
+            .write_row_full(BankLocation { bank: 1, row: 0 }, &[42; 8]);
+        let mut ch = ReadChannel::new(ids[0], 4, 4);
+        ch.push_addr(8); // word 1 → bank 1 under FIMA
+        assert!(ch.try_start_request(|a| BankLocation {
+            bank: (a / 8 % 4) as usize,
+            row: (a / 8 / 4) as usize
+        }));
+        assert!(ch.has_pending());
+        ch.submit(&mut mem);
+        let grants = mem.arbitrate().to_vec();
+        ch.handle_grant(grants[ids[0].index()]);
+        assert!(!ch.has_pending());
+        assert_eq!(ch.outstanding(), 1);
+        for resp in mem.take_responses() {
+            ch.handle_response(resp);
+        }
+        assert!(ch.has_data());
+        assert_eq!(ch.pop().unwrap(), vec![42; 8]);
+        assert_eq!(ch.stats().granted.get(), 1);
+        assert_eq!(ch.stats().responses.get(), 1);
+        assert!(ch.is_drained());
+    }
+
+    #[test]
+    fn orm_throttles_when_fifo_reserved_out() {
+        let (_, ids) = mem_with(1);
+        let mut ch = ReadChannel::new(ids[0], 2, 8);
+        for i in 0..4 {
+            ch.push_addr(i * 8);
+        }
+        let map = |a: u64| BankLocation {
+            bank: (a / 8 % 4) as usize,
+            row: 0,
+        };
+        assert!(ch.try_start_request(map));
+        // Pending occupies one reservation; channel can't start another
+        // while one is pending…
+        assert!(!ch.try_start_request(map));
+        // …simulate the grant, then a second can start (second slot)…
+        ch.handle_grant(true);
+        assert!(ch.try_start_request(map));
+        ch.handle_grant(true);
+        // …but the third is throttled by the ORM: both slots reserved.
+        assert!(!ch.try_start_request(map));
+        assert_eq!(ch.outstanding(), 2);
+    }
+
+    #[test]
+    fn retry_counts_conflicts() {
+        let (mut mem, ids) = mem_with(2);
+        let mut a = ReadChannel::new(ids[0], 4, 4);
+        let mut b = ReadChannel::new(ids[1], 4, 4);
+        let map = |_| BankLocation { bank: 0, row: 0 };
+        a.push_addr(0);
+        b.push_addr(0);
+        a.try_start_request(map);
+        b.try_start_request(map);
+        a.submit(&mut mem);
+        b.submit(&mut mem);
+        let grants = mem.arbitrate().to_vec();
+        a.handle_grant(grants[ids[0].index()]);
+        b.handle_grant(grants[ids[1].index()]);
+        let retries = a.stats().retries.get() + b.stats().retries.get();
+        let granted = a.stats().granted.get() + b.stats().granted.get();
+        assert_eq!(retries, 1);
+        assert_eq!(granted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "address buffer overflow")]
+    fn addr_overflow_panics() {
+        let (_, ids) = mem_with(1);
+        let mut ch = ReadChannel::new(ids[0], 2, 1);
+        ch.push_addr(0);
+        ch.push_addr(8);
+    }
+
+    #[test]
+    fn write_channel_drains_on_grant() {
+        let (mut mem, ids) = mem_with(1);
+        let mut ch = WriteChannel::new(ids[0], 2, 2);
+        ch.push_addr(16);
+        assert!(ch.can_accept());
+        ch.accept(vec![7; 8], |a| BankLocation {
+            bank: (a / 8 % 4) as usize,
+            row: (a / 8 / 4) as usize,
+        });
+        assert_eq!(ch.backlog(), 1);
+        ch.submit(&mut mem);
+        let grants = mem.arbitrate().to_vec();
+        ch.handle_grant(grants[ids[0].index()]);
+        assert!(ch.is_drained());
+        assert_eq!(
+            mem.scratchpad().read_row(BankLocation { bank: 2, row: 0 }),
+            &[7; 8]
+        );
+    }
+
+    #[test]
+    fn write_channel_needs_addr_and_space() {
+        let (_, ids) = mem_with(1);
+        let mut ch = WriteChannel::new(ids[0], 1, 2);
+        assert!(!ch.can_accept(), "no address queued yet");
+        ch.push_addr(0);
+        ch.push_addr(8);
+        assert!(ch.can_accept());
+        ch.accept(vec![1; 8], |_| BankLocation { bank: 0, row: 0 });
+        assert!(!ch.can_accept(), "fifo full at depth 1");
+    }
+
+    #[test]
+    fn write_retry_keeps_head() {
+        let (mut mem, ids) = mem_with(2);
+        let mut a = WriteChannel::new(ids[0], 2, 2);
+        let mut b = WriteChannel::new(ids[1], 2, 2);
+        for ch in [&mut a, &mut b] {
+            ch.push_addr(0);
+            ch.accept(vec![9; 8], |_| BankLocation { bank: 3, row: 1 });
+        }
+        a.submit(&mut mem);
+        b.submit(&mut mem);
+        let grants = mem.arbitrate().to_vec();
+        a.handle_grant(grants[ids[0].index()]);
+        b.handle_grant(grants[ids[1].index()]);
+        assert_eq!(a.backlog() + b.backlog(), 1, "exactly one retired");
+    }
+}

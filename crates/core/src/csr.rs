@@ -1,0 +1,370 @@
+//! The host-facing CSR programming model.
+//!
+//! In the paper's evaluation system the RISC-V host programs each
+//! DataMaestro's runtime configuration (Table II's runtime half) through
+//! memory-mapped CSRs before firing the accelerator. This module defines
+//! that register map and the encode/decode between [`RuntimeConfig`] and
+//! raw CSR words, so a simulated host can drive streamers exactly the way
+//! the real Snitch core does.
+//!
+//! Register map for a design with `D_t` temporal dims, `D_s` spatial dims
+//! and `E` extensions (all 64-bit registers):
+//!
+//! | index | register |
+//! |-------|----------|
+//! | 0 | base address |
+//! | 1 ..= D_t | temporal bounds (unused outer dims hold 1) |
+//! | D_t+1 ..= 2·D_t | temporal strides (two's complement) |
+//! | 2·D_t+1 ..= 2·D_t+D_s | spatial strides (two's complement) |
+//! | 2·D_t+D_s+1 | addressing-mode select (`R_S`): 0 = FIMA, 1 = NIMA, `g` ≥ 2 = GIMA(g) |
+//! | 2·D_t+D_s+2 | extension bypass bitmask (bit `i` bypasses extension `i`) |
+//! | 2·D_t+D_s+3 | START (write 1 to launch; reads busy status) |
+
+use dm_mem::AddressingMode;
+
+use crate::config::{DesignConfig, RuntimeConfig};
+use crate::error::ConfigError;
+
+/// The CSR register map of one DataMaestro instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrMap {
+    temporal_dims: usize,
+    spatial_dims: usize,
+}
+
+impl CsrMap {
+    /// Derives the map from a design.
+    #[must_use]
+    pub fn for_design(design: &DesignConfig) -> Self {
+        CsrMap {
+            temporal_dims: design.temporal_dims(),
+            spatial_dims: design.spatial_dims(),
+        }
+    }
+
+    /// Index of the base-address register.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        0
+    }
+
+    /// Index of temporal bound `d`.
+    #[must_use]
+    pub fn temporal_bound(&self, d: usize) -> usize {
+        1 + d
+    }
+
+    /// Index of temporal stride `d`.
+    #[must_use]
+    pub fn temporal_stride(&self, d: usize) -> usize {
+        1 + self.temporal_dims + d
+    }
+
+    /// Index of spatial stride `j`.
+    #[must_use]
+    pub fn spatial_stride(&self, j: usize) -> usize {
+        1 + 2 * self.temporal_dims + j
+    }
+
+    /// Index of the addressing-mode select register.
+    #[must_use]
+    pub fn mode_select(&self) -> usize {
+        1 + 2 * self.temporal_dims + self.spatial_dims
+    }
+
+    /// Index of the extension-bypass bitmask register.
+    #[must_use]
+    pub fn extension_bypass(&self) -> usize {
+        self.mode_select() + 1
+    }
+
+    /// Index of the START/status register.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.extension_bypass() + 1
+    }
+
+    /// Total registers (including START).
+    #[must_use]
+    pub fn num_csrs(&self) -> usize {
+        self.start() + 1
+    }
+
+    /// Human-readable register name (for traces).
+    #[must_use]
+    pub fn name(&self, index: usize) -> String {
+        if index == 0 {
+            "addr_base".into()
+        } else if index <= self.temporal_dims {
+            format!("t_bound[{}]", index - 1)
+        } else if index <= 2 * self.temporal_dims {
+            format!("t_stride[{}]", index - 1 - self.temporal_dims)
+        } else if index < self.mode_select() {
+            format!("s_stride[{}]", index - 1 - 2 * self.temporal_dims)
+        } else if index == self.mode_select() {
+            "mode_select".into()
+        } else if index == self.extension_bypass() {
+            "ext_bypass".into()
+        } else if index == self.start() {
+            "start".into()
+        } else {
+            format!("reserved[{index}]")
+        }
+    }
+}
+
+/// Encodes the addressing mode into its `R_S` CSR value.
+#[must_use]
+pub fn encode_mode(mode: AddressingMode) -> u64 {
+    match mode {
+        AddressingMode::FullyInterleaved => 0,
+        AddressingMode::NonInterleaved => 1,
+        AddressingMode::GroupedInterleaved { group_banks } => group_banks as u64,
+    }
+}
+
+/// Decodes an `R_S` CSR value.
+///
+/// # Errors
+///
+/// Rejects group sizes that are not powers of two ≥ 2.
+pub fn decode_mode(value: u64) -> Result<AddressingMode, ConfigError> {
+    match value {
+        0 => Ok(AddressingMode::FullyInterleaved),
+        1 => Ok(AddressingMode::NonInterleaved),
+        g if g.is_power_of_two() => Ok(AddressingMode::GroupedInterleaved {
+            group_banks: g as usize,
+        }),
+        g => Err(ConfigError::InvalidParameter {
+            parameter: "mode_select",
+            reason: format!("{g} is not a valid GIMA group size"),
+        }),
+    }
+}
+
+/// Encodes a runtime configuration into the full CSR image (the word the
+/// host would write at each index; START is left at 0).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the configuration is inconsistent with the
+/// design (same checks as [`RuntimeConfig::validate`]).
+pub fn encode_runtime(
+    design: &DesignConfig,
+    runtime: &RuntimeConfig,
+) -> Result<Vec<u64>, ConfigError> {
+    runtime.validate(design)?;
+    let map = CsrMap::for_design(design);
+    let mut csrs = vec![0u64; map.num_csrs()];
+    csrs[map.base()] = runtime.base;
+    for d in 0..design.temporal_dims() {
+        csrs[map.temporal_bound(d)] = runtime.temporal_bounds.get(d).copied().unwrap_or(1);
+        csrs[map.temporal_stride(d)] =
+            runtime.temporal_strides.get(d).copied().unwrap_or(0) as u64;
+    }
+    for j in 0..design.spatial_dims() {
+        csrs[map.spatial_stride(j)] = runtime.spatial_strides[j] as u64;
+    }
+    csrs[map.mode_select()] = encode_mode(runtime.addressing_mode);
+    let mut bypass = 0u64;
+    for (i, &b) in runtime.extension_bypass.iter().enumerate() {
+        if b {
+            bypass |= 1 << i;
+        }
+    }
+    csrs[map.extension_bypass()] = bypass;
+    Ok(csrs)
+}
+
+/// Decodes a CSR image back into a runtime configuration.
+///
+/// Outer temporal dimensions whose bound is 1 and stride is 0 are elided,
+/// mirroring how the compiler leaves unused CSRs at their reset values.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for a short image or an invalid mode value.
+pub fn decode_runtime(
+    design: &DesignConfig,
+    csrs: &[u64],
+) -> Result<RuntimeConfig, ConfigError> {
+    let map = CsrMap::for_design(design);
+    if csrs.len() < map.num_csrs() {
+        return Err(ConfigError::DimensionMismatch {
+            what: "csr image",
+            expected: map.num_csrs(),
+            got: csrs.len(),
+        });
+    }
+    let mut bounds: Vec<u64> = (0..design.temporal_dims())
+        .map(|d| csrs[map.temporal_bound(d)])
+        .collect();
+    let mut strides: Vec<i64> = (0..design.temporal_dims())
+        .map(|d| csrs[map.temporal_stride(d)] as i64)
+        .collect();
+    while bounds.len() > 1 && bounds.last() == Some(&1) && strides.last() == Some(&0) {
+        bounds.pop();
+        strides.pop();
+    }
+    let spatial: Vec<i64> = (0..design.spatial_dims())
+        .map(|j| csrs[map.spatial_stride(j)] as i64)
+        .collect();
+    let mode = decode_mode(csrs[map.mode_select()])?;
+    let bypass_mask = csrs[map.extension_bypass()];
+    let bypass: Vec<bool> = (0..design.extensions().len())
+        .map(|i| bypass_mask & (1 << i) != 0)
+        .collect();
+    let runtime = RuntimeConfig {
+        base: csrs[map.base()],
+        temporal_bounds: bounds,
+        temporal_strides: strides,
+        spatial_strides: spatial,
+        addressing_mode: mode,
+        extension_bypass: bypass,
+    };
+    runtime.validate(design)?;
+    Ok(runtime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamerMode;
+    use crate::extension::ExtensionKind;
+    use proptest::prelude::*;
+
+    fn design() -> DesignConfig {
+        DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds([2, 2, 2])
+            .temporal_dims(6)
+            .extension(ExtensionKind::Transposer {
+                rows: 8,
+                cols: 8,
+                elem_bytes: 1,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn map_indices_are_contiguous_and_named() {
+        let map = CsrMap::for_design(&design());
+        // 1 base + 6 bounds + 6 strides + 3 spatial + mode + bypass + start.
+        assert_eq!(map.num_csrs(), 19);
+        assert_eq!(map.name(0), "addr_base");
+        assert_eq!(map.name(1), "t_bound[0]");
+        assert_eq!(map.name(7), "t_stride[0]");
+        assert_eq!(map.name(13), "s_stride[0]");
+        assert_eq!(map.name(map.mode_select()), "mode_select");
+        assert_eq!(map.name(map.extension_bypass()), "ext_bypass");
+        assert_eq!(map.name(map.start()), "start");
+    }
+
+    #[test]
+    fn mode_encoding_roundtrip() {
+        for mode in [
+            AddressingMode::FullyInterleaved,
+            AddressingMode::NonInterleaved,
+            AddressingMode::GroupedInterleaved { group_banks: 8 },
+        ] {
+            assert_eq!(decode_mode(encode_mode(mode)).unwrap(), mode);
+        }
+        assert!(decode_mode(6).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_typical_config() {
+        let d = design();
+        let rt = RuntimeConfig::builder()
+            .base(0x4000)
+            .temporal([8, 4, 2], [64, 0, 512])
+            .spatial_strides([8, 16, 32])
+            .addressing_mode(AddressingMode::GroupedInterleaved { group_banks: 8 })
+            .extension_bypass([true])
+            .build();
+        let csrs = encode_runtime(&d, &rt).unwrap();
+        let back = decode_runtime(&d, &csrs).unwrap();
+        assert_eq!(back.base, rt.base);
+        assert_eq!(back.temporal_bounds, rt.temporal_bounds);
+        assert_eq!(back.temporal_strides, rt.temporal_strides);
+        assert_eq!(back.spatial_strides, rt.spatial_strides);
+        assert_eq!(back.addressing_mode, rt.addressing_mode);
+        assert_eq!(back.extension_bypass, rt.extension_bypass);
+    }
+
+    #[test]
+    fn negative_strides_survive_two_complement() {
+        let d = design();
+        let rt = RuntimeConfig::builder()
+            .temporal([4], [-64])
+            .base(1024)
+            .spatial_strides([8, -16, 32])
+            .build();
+        let csrs = encode_runtime(&d, &rt).unwrap();
+        let back = decode_runtime(&d, &csrs).unwrap();
+        assert_eq!(back.temporal_strides, vec![-64]);
+        assert_eq!(back.spatial_strides, vec![8, -16, 32]);
+    }
+
+    #[test]
+    fn short_image_rejected() {
+        let d = design();
+        assert!(matches!(
+            decode_runtime(&d, &[0; 4]),
+            Err(ConfigError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_runtime_rejected_at_encode() {
+        let d = design();
+        let rt = RuntimeConfig::builder()
+            .temporal([2; 7], [0; 7]) // more dims than the design has
+            .spatial_strides([8, 16, 32])
+            .build();
+        assert!(encode_runtime(&d, &rt).is_err());
+    }
+
+    proptest! {
+        /// encode ∘ decode is the identity on valid runtime configurations
+        /// (up to elision of trailing unit dimensions).
+        #[test]
+        fn roundtrip(
+            base in (0u64..1 << 20).prop_map(|b| b * 8),
+            dims in proptest::collection::vec((1u64..8, -512i64..512), 1..6),
+            spatial in proptest::collection::vec(-256i64..256, 3),
+            mode_sel in 0usize..3,
+            bypass in any::<bool>(),
+        ) {
+            let d = design();
+            let mode = [
+                AddressingMode::FullyInterleaved,
+                AddressingMode::NonInterleaved,
+                AddressingMode::GroupedInterleaved { group_banks: 4 },
+            ][mode_sel];
+            let rt = RuntimeConfig {
+                base,
+                temporal_bounds: dims.iter().map(|x| x.0).collect(),
+                temporal_strides: dims.iter().map(|x| x.1 * 8).collect(),
+                spatial_strides: spatial.iter().map(|s| s * 8).collect(),
+                addressing_mode: mode,
+                extension_bypass: vec![bypass],
+            };
+            let csrs = encode_runtime(&d, &rt).unwrap();
+            let back = decode_runtime(&d, &csrs).unwrap();
+            prop_assert_eq!(back.base, rt.base);
+            prop_assert_eq!(back.spatial_strides, rt.spatial_strides);
+            prop_assert_eq!(back.addressing_mode, rt.addressing_mode);
+            prop_assert_eq!(back.extension_bypass, rt.extension_bypass);
+            // Bounds/strides match after normalizing trailing (1, 0) dims.
+            let mut nb = rt.temporal_bounds.clone();
+            let mut ns = rt.temporal_strides.clone();
+            while nb.len() > 1 && nb.last() == Some(&1) && ns.last() == Some(&0) {
+                nb.pop();
+                ns.pop();
+            }
+            prop_assert_eq!(back.temporal_bounds, nb);
+            prop_assert_eq!(back.temporal_strides, ns);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Error type for DataMaestro configuration and operation.
+
+use std::error::Error;
+use std::fmt;
+
+use dm_mem::MemError;
+
+/// Errors raised while configuring or operating a DataMaestro streamer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A design-time list parameter had the wrong length (e.g. runtime
+    /// temporal strides not matching the design-time dimension count).
+    DimensionMismatch {
+        /// What was being configured.
+        what: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+    /// A bound was zero; empty loops are expressed by omitting dimensions,
+    /// not by zero bounds.
+    ZeroBound {
+        /// Which bound list contained the zero.
+        what: &'static str,
+    },
+    /// A design-time structural parameter was invalid.
+    InvalidParameter {
+        /// Which parameter.
+        parameter: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The configured access pattern would touch an address outside the
+    /// scratchpad.
+    PatternOutOfBounds {
+        /// Lowest byte address the pattern touches.
+        min_addr: u64,
+        /// Highest byte address (inclusive of the word) the pattern touches.
+        max_addr: u64,
+        /// Scratchpad capacity in bytes.
+        capacity: u64,
+    },
+    /// A generated address was not aligned to the bank word width.
+    UnalignedPattern {
+        /// The offending byte address.
+        addr: u64,
+        /// Required alignment.
+        alignment: u64,
+    },
+    /// Underlying memory error (remapper construction, etc.).
+    Mem(MemError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} expects {expected} entries, got {got}"),
+            ConfigError::ZeroBound { what } => {
+                write!(f, "{what} contains a zero bound")
+            }
+            ConfigError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid {parameter}: {reason}")
+            }
+            ConfigError::PatternOutOfBounds {
+                min_addr,
+                max_addr,
+                capacity,
+            } => write!(
+                f,
+                "access pattern spans 0x{min_addr:x}..=0x{max_addr:x}, beyond capacity {capacity}"
+            ),
+            ConfigError::UnalignedPattern { addr, alignment } => {
+                write!(f, "pattern address 0x{addr:x} not {alignment}-byte aligned")
+            }
+            ConfigError::Mem(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for ConfigError {
+    fn from(e: MemError) -> Self {
+        ConfigError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = ConfigError::DimensionMismatch {
+            what: "temporal strides",
+            expected: 3,
+            got: 2,
+        };
+        assert_eq!(e.to_string(), "temporal strides expects 3 entries, got 2");
+        let e = ConfigError::from(MemError::Misaligned {
+            addr: 5,
+            alignment: 8,
+        });
+        assert!(e.to_string().contains("memory error"));
+    }
+
+    #[test]
+    fn source_chains_mem_errors() {
+        let e = ConfigError::from(MemError::UnknownRequester { requester: 1 });
+        assert!(e.source().is_some());
+        let e = ConfigError::ZeroBound { what: "bounds" };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+    }
+}

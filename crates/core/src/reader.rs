@@ -1,0 +1,495 @@
+//! The read-mode DataMaestro streamer (left half of Fig. 2a).
+//!
+//! A [`ReadStreamer`] turns scattered memory words into the continuous wide
+//! data stream an accelerator port consumes:
+//!
+//! 1. the temporal AGU emits one temporal address per cycle into per-channel
+//!    address buffers (fanned out by the spatial AGU);
+//! 2. each channel's MIC issues fine-grained requests independently,
+//!    throttled only by its ORM slot reservations;
+//! 3. responses land in the per-channel data FIFOs;
+//! 4. when *every* channel has its head word, the words are gathered into
+//!    one wide word, pushed through the datapath-extension cascade and
+//!    handed to the accelerator.
+//!
+//! With fine-grained prefetch disabled the streamer degrades into a plain
+//! data-movement unit: one wide request at a time and no overlap between the
+//! memory round-trip and consumption (the ablation baseline ①).
+
+use dm_mem::{Addr, AddressRemapper, BankLocation, MemConfig, MemResponse, MemorySubsystem,
+             RequesterId};
+use dm_sim::Counter;
+use serde::{Deserialize, Serialize};
+
+use crate::agu::{SpatialAgu, TemporalAgu};
+use crate::channel::ReadChannel;
+use crate::config::{DesignConfig, RuntimeConfig, StreamerMode};
+use crate::error::ConfigError;
+use crate::extension::ExtensionChain;
+
+/// Aggregated statistics for one streamer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamerStats {
+    /// Memory requests granted across all channels.
+    pub granted: Counter,
+    /// Request cycles lost to arbitration (bank conflicts).
+    pub retries: Counter,
+    /// Wide words delivered to (read) or accepted from (write) the
+    /// accelerator.
+    pub wide_words: Counter,
+    /// Temporal addresses generated.
+    pub temporal_addresses: Counter,
+}
+
+/// Validates that a runtime pattern is word-aligned and in bounds, returning
+/// the constructed remapper.
+pub(crate) fn bind_pattern(
+    design: &DesignConfig,
+    runtime: &RuntimeConfig,
+    mem: &MemConfig,
+) -> Result<(AddressRemapper, TemporalAgu, SpatialAgu), ConfigError> {
+    runtime.validate(design)?;
+    let remapper = AddressRemapper::new(mem, runtime.addressing_mode)?;
+    let word = mem.bank_width_bytes() as u64;
+    // All strides and the base must be word multiples so every generated
+    // address is word aligned.
+    let aligned = runtime.base.is_multiple_of(word)
+        && runtime
+            .temporal_strides
+            .iter()
+            .chain(runtime.spatial_strides.iter())
+            .all(|s| s.unsigned_abs() % word == 0);
+    if !aligned {
+        return Err(ConfigError::UnalignedPattern {
+            addr: runtime.base,
+            alignment: word,
+        });
+    }
+    let tagu = TemporalAgu::new(
+        runtime.base,
+        &runtime.temporal_bounds,
+        &runtime.temporal_strides,
+    );
+    let sagu = SpatialAgu::new(design.spatial_bounds(), &runtime.spatial_strides);
+    let (t_min, t_max) = tagu.address_range();
+    let (s_min, s_max) = sagu.offset_range();
+    let min = t_min as i64 + s_min;
+    let max = t_max as i64 + s_max + word as i64 - 1;
+    let capacity = mem.capacity_bytes();
+    if min < 0 || max as u64 >= capacity {
+        return Err(ConfigError::PatternOutOfBounds {
+            min_addr: min.max(0) as u64,
+            max_addr: max as u64,
+            capacity,
+        });
+    }
+    Ok((remapper, tagu, sagu))
+}
+
+/// A read-mode DataMaestro.
+pub struct ReadStreamer {
+    name: String,
+    remapper: AddressRemapper,
+    tagu: TemporalAgu,
+    sagu: SpatialAgu,
+    channels: Vec<ReadChannel>,
+    chain: ExtensionChain,
+    fine_grained: bool,
+    /// Coarse mode: gate is open while the current wide request may issue.
+    coarse_open: bool,
+    coarse_started: Vec<bool>,
+    stats: StreamerStats,
+}
+
+impl ReadStreamer {
+    /// Builds a read streamer, registering one crossbar requester per
+    /// channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the design is not read-mode, the runtime
+    /// configuration is inconsistent with the design, the pattern is
+    /// unaligned or out of bounds, or an extension's geometry mismatches the
+    /// wide word.
+    pub fn new(
+        design: &DesignConfig,
+        runtime: &RuntimeConfig,
+        mem: &mut MemorySubsystem,
+    ) -> Result<Self, ConfigError> {
+        if design.mode() != StreamerMode::Read {
+            return Err(ConfigError::InvalidParameter {
+                parameter: "mode",
+                reason: "ReadStreamer requires a read-mode design".into(),
+            });
+        }
+        let mem_cfg = *mem.scratchpad().config();
+        let (remapper, tagu, sagu) = bind_pattern(design, runtime, &mem_cfg)?;
+        let input_width = design.num_channels() * mem_cfg.bank_width_bytes();
+        let chain = ExtensionChain::new(
+            design.extensions(),
+            &runtime.extension_bypass,
+            input_width,
+        )?;
+        let channels = (0..design.num_channels())
+            .map(|c| {
+                let id = mem.register_requester(format!("{}/ch{c}", design.name()));
+                ReadChannel::new(id, design.data_buffer_depth(), design.addr_buffer_depth())
+            })
+            .collect::<Vec<_>>();
+        let n = channels.len();
+        Ok(ReadStreamer {
+            name: design.name().to_owned(),
+            remapper,
+            tagu,
+            sagu,
+            channels,
+            chain,
+            fine_grained: design.fine_grained_prefetch(),
+            coarse_open: false,
+            coarse_started: vec![false; n],
+            stats: StreamerStats::default(),
+        })
+    }
+
+    /// Streamer name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in bytes of the wide word delivered to the accelerator (after
+    /// extensions).
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.chain.output_width()
+    }
+
+    /// Requester ids of this streamer's channels, in channel order.
+    #[must_use]
+    pub fn channel_requesters(&self) -> Vec<RequesterId> {
+        self.channels.iter().map(|c| c.requester()).collect()
+    }
+
+    /// Phase 1: sample coarse-mode gating state (must run before responses
+    /// are delivered and before the accelerator pops).
+    pub fn begin_cycle(&mut self) {
+        if self.fine_grained {
+            return;
+        }
+        if !self.coarse_open && self.channels.iter().all(ReadChannel::is_quiescent) {
+            self.coarse_open = true;
+            self.coarse_started.fill(false);
+        }
+    }
+
+    /// Phase 2: deliver a memory response belonging to one of this
+    /// streamer's channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response belongs to no channel of this streamer.
+    pub fn accept_response(&mut self, response: MemResponse) {
+        let channel = self
+            .channels
+            .iter_mut()
+            .find(|c| c.requester() == response.requester)
+            .expect("response routed to wrong streamer");
+        channel.handle_response(response);
+    }
+
+    /// Phase 4: run the AGU (one temporal address per cycle) and start
+    /// channel requests.
+    pub fn generate_and_issue(&mut self, mem: &mut MemorySubsystem) {
+        // AGU: emit the next temporal address if every channel buffer has
+        // room (channels consume the same temporal cadence).
+        if !self.tagu.is_done() && self.channels.iter().all(ReadChannel::has_addr_space) {
+            if let Some(ta) = self.tagu.next_address() {
+                self.stats.temporal_addresses.inc();
+                for (c, channel) in self.channels.iter_mut().enumerate() {
+                    channel.push_addr(self.sagu.channel_address(ta, c));
+                }
+            }
+        }
+        // RSC: start new requests where allowed, then submit pending ones.
+        let remapper = &self.remapper;
+        for (c, channel) in self.channels.iter_mut().enumerate() {
+            let may_start = self.fine_grained || (self.coarse_open && !self.coarse_started[c]);
+            if may_start {
+                let started = channel.try_start_request(|addr| {
+                    map_checked(remapper, addr)
+                });
+                if started && !self.fine_grained {
+                    self.coarse_started[c] = true;
+                }
+            }
+            channel.submit(mem);
+        }
+        if !self.fine_grained
+            && self.coarse_open
+            && self.coarse_started.iter().all(|&s| s)
+        {
+            self.coarse_open = false;
+        }
+    }
+
+    /// Phase 5: consume the grant flags after crossbar arbitration.
+    pub fn handle_grants(&mut self, grants: &[bool]) {
+        for channel in &mut self.channels {
+            let flag = grants[channel.requester().index()];
+            let had_pending = channel.has_pending();
+            channel.handle_grant(flag);
+            if had_pending {
+                if flag {
+                    self.stats.granted.inc();
+                } else {
+                    self.stats.retries.inc();
+                }
+            }
+        }
+    }
+
+    /// `true` when a full wide word is ready for the accelerator.
+    #[must_use]
+    pub fn can_pop_wide(&self) -> bool {
+        self.channels.iter().all(ReadChannel::has_data)
+    }
+
+    /// Gathers one word from every channel, applies the extension cascade
+    /// and returns the accelerator-facing wide word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`can_pop_wide`](Self::can_pop_wide) is false.
+    pub fn pop_wide(&mut self) -> Vec<u8> {
+        assert!(self.can_pop_wide(), "wide pop without data in all channels");
+        let mut gathered = Vec::with_capacity(self.chain.input_width());
+        for channel in &mut self.channels {
+            gathered.extend(channel.pop().expect("channel has data"));
+        }
+        self.stats.wide_words.inc();
+        self.chain.process(&gathered)
+    }
+
+    /// `true` once the pattern is exhausted and all data has been consumed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.tagu.is_done() && self.channels.iter().all(ReadChannel::is_drained)
+    }
+
+    /// Total wide words this pattern produces.
+    #[must_use]
+    pub fn total_wide_words(&self) -> u64 {
+        self.tagu.total()
+    }
+
+    /// Aggregated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &StreamerStats {
+        &self.stats
+    }
+
+    /// Peak per-channel FIFO occupancy across channels.
+    #[must_use]
+    pub fn fifo_high_watermark(&self) -> usize {
+        self.channels
+            .iter()
+            .map(ReadChannel::fifo_high_watermark)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for ReadStreamer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadStreamer")
+            .field("name", &self.name)
+            .field("channels", &self.channels.len())
+            .field("fine_grained", &self.fine_grained)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Maps a validated byte address to its physical location.
+///
+/// Bounds and alignment were proven at configuration time, so failures here
+/// are simulator bugs and panic.
+pub(crate) fn map_checked(remapper: &AddressRemapper, addr: u64) -> BankLocation {
+    remapper
+        .map_byte(Addr::new(addr))
+        .expect("pattern address validated at configuration time")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_mem::AddressingMode;
+
+    fn mem() -> MemorySubsystem {
+        MemorySubsystem::new(MemConfig::new(8, 8, 64).unwrap())
+    }
+
+    fn design() -> DesignConfig {
+        DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds([4])
+            .temporal_dims(2)
+            .build()
+            .unwrap()
+    }
+
+    fn runtime(base: u64) -> RuntimeConfig {
+        RuntimeConfig::builder()
+            .base(base)
+            .temporal([4], [32])
+            .spatial_strides([8])
+            .addressing_mode(AddressingMode::FullyInterleaved)
+            .build()
+    }
+
+    /// Drives the streamer alone for one cycle against the memory.
+    fn tick(streamer: &mut ReadStreamer, mem: &mut MemorySubsystem) {
+        streamer.begin_cycle();
+        for resp in mem.take_responses() {
+            streamer.accept_response(resp);
+        }
+        streamer.generate_and_issue(mem);
+        let grants = mem.arbitrate().to_vec();
+        streamer.handle_grants(&grants);
+    }
+
+    #[test]
+    fn streams_the_configured_pattern() {
+        let mut mem = mem();
+        // Preload: word i (8 bytes) holds value i at every byte.
+        let remap =
+            AddressRemapper::new(mem.scratchpad().config(), AddressingMode::FullyInterleaved)
+                .unwrap();
+        for w in 0..64u64 {
+            mem.scratchpad_mut()
+                .host_write(&remap, Addr::new(w * 8), &[w as u8; 8])
+                .unwrap();
+        }
+        let mut s = ReadStreamer::new(&design(), &runtime(0), &mut mem).unwrap();
+        assert_eq!(s.output_width(), 32);
+        let mut words = Vec::new();
+        for _ in 0..40 {
+            tick(&mut s, &mut mem);
+            if s.can_pop_wide() {
+                words.push(s.pop_wide());
+            }
+            if s.is_done() {
+                break;
+            }
+        }
+        assert!(s.is_done());
+        assert_eq!(words.len(), 4);
+        // Temporal step t starts at word 4t; channels read words 4t..4t+4.
+        for (t, word) in words.iter().enumerate() {
+            let expected: Vec<u8> = (0..4)
+                .flat_map(|c| [(4 * t + c) as u8; 8])
+                .collect();
+            assert_eq!(word, &expected, "wide word {t}");
+        }
+        assert_eq!(s.stats().granted.get(), 16);
+        assert_eq!(s.stats().wide_words.get(), 4);
+    }
+
+    #[test]
+    fn fine_grained_reaches_one_word_per_cycle() {
+        let mut mem = mem();
+        let d = design();
+        // Conflict-free pattern: 4 channels on 4 distinct banks each step.
+        let mut s = ReadStreamer::new(&d, &runtime(0), &mut mem).unwrap();
+        let mut pops = 0;
+        let mut cycles = 0;
+        while !s.is_done() && cycles < 100 {
+            tick(&mut s, &mut mem);
+            cycles += 1;
+            if s.can_pop_wide() {
+                let _ = s.pop_wide();
+                pops += 1;
+            }
+        }
+        assert_eq!(pops, 4);
+        // Pipeline fill is ~2 cycles; steady state is 1 word/cycle.
+        assert!(cycles <= 8, "took {cycles} cycles for 4 words");
+    }
+
+    #[test]
+    fn coarse_mode_serializes_round_trips() {
+        let mut mem = mem();
+        let d = DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds([4])
+            .temporal_dims(2)
+            .fine_grained_prefetch(false)
+            .build()
+            .unwrap();
+        let mut s = ReadStreamer::new(&d, &runtime(0), &mut mem).unwrap();
+        let mut pops = 0;
+        let mut cycles = 0;
+        while !s.is_done() && cycles < 100 {
+            tick(&mut s, &mut mem);
+            cycles += 1;
+            if s.can_pop_wide() {
+                let _ = s.pop_wide();
+                pops += 1;
+            }
+        }
+        assert_eq!(pops, 4);
+        // Coarse mode needs ~2 cycles per word (issue, respond+consume).
+        assert!(
+            (7..=12).contains(&cycles),
+            "coarse mode took {cycles} cycles for 4 words"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_mode() {
+        let mut mem = mem();
+        let d = DesignConfig::builder("W", StreamerMode::Write).build().unwrap();
+        let err = ReadStreamer::new(&d, &runtime(0), &mut mem).unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn rejects_unaligned_pattern() {
+        let mut mem = mem();
+        let rt = RuntimeConfig::builder()
+            .base(4)
+            .temporal([4], [32])
+            .spatial_strides([8])
+            .build();
+        let err = ReadStreamer::new(&design(), &rt, &mut mem).unwrap_err();
+        assert!(matches!(err, ConfigError::UnalignedPattern { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_pattern() {
+        let mut mem = mem();
+        let capacity = mem.scratchpad().config().capacity_bytes();
+        let err = ReadStreamer::new(&design(), &runtime(capacity - 32), &mut mem).unwrap_err();
+        assert!(matches!(err, ConfigError::PatternOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn done_only_after_all_data_consumed() {
+        let mut mem = mem();
+        let mut s = ReadStreamer::new(&design(), &runtime(0), &mut mem).unwrap();
+        for _ in 0..50 {
+            tick(&mut s, &mut mem);
+        }
+        // AGU exhausted but FIFOs full: not done until the accelerator pops.
+        assert!(!s.is_done());
+        while s.can_pop_wide() {
+            let _ = s.pop_wide();
+            tick(&mut s, &mut mem);
+        }
+        for _ in 0..10 {
+            tick(&mut s, &mut mem);
+            while s.can_pop_wide() {
+                let _ = s.pop_wide();
+            }
+        }
+        assert!(s.is_done());
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests of the full read/write streamers against direct
+//! address-arithmetic references: for arbitrary (small) affine
+//! configurations, the stream delivered to / absorbed from the accelerator
+//! port must be exactly the bytes the pattern addresses, in order — under
+//! every addressing mode, with and without fine-grained prefetch.
+
+use datamaestro::{DesignConfig, ReadStreamer, RuntimeConfig, StreamerMode, WriteStreamer};
+use dm_mem::{Addr, AddressRemapper, AddressingMode, MemConfig, MemorySubsystem};
+use proptest::prelude::*;
+
+const WORD: u64 = 8;
+
+fn mem_cfg() -> MemConfig {
+    MemConfig::new(8, 8, 256).expect("valid geometry")
+}
+
+/// A generated affine pattern: bounds/strides for a 2-D temporal nest and a
+/// 3-channel-ish spatial fan-out, all word-aligned and in bounds.
+#[derive(Debug, Clone)]
+struct Pattern {
+    base: u64,
+    t_bounds: Vec<u64>,
+    t_strides: Vec<i64>,
+    s_bounds: Vec<usize>,
+    s_strides: Vec<i64>,
+    mode: AddressingMode,
+    fine_grained: bool,
+}
+
+fn pattern_strategy() -> impl Strategy<Value = Pattern> {
+    let mode = prop_oneof![
+        Just(AddressingMode::FullyInterleaved),
+        Just(AddressingMode::GroupedInterleaved { group_banks: 2 }),
+        Just(AddressingMode::GroupedInterleaved { group_banks: 4 }),
+        Just(AddressingMode::NonInterleaved),
+    ];
+    (
+        0u64..8,                                        // base words
+        proptest::collection::vec((1u64..4, 0i64..6), 1..3), // temporal dims (word strides)
+        proptest::collection::vec((1usize..3, 0i64..4), 1..3), // spatial dims
+        mode,
+        any::<bool>(),
+    )
+        .prop_map(|(base_w, t, s, mode, fine_grained)| Pattern {
+            base: base_w * WORD,
+            t_bounds: t.iter().map(|x| x.0).collect(),
+            t_strides: t.iter().map(|x| x.1 * WORD as i64).collect(),
+            s_bounds: s.iter().map(|x| x.0).collect(),
+            s_strides: s.iter().map(|x| x.1 * WORD as i64).collect(),
+            mode,
+            fine_grained,
+        })
+}
+
+/// All channel addresses of the pattern, in (temporal, channel) order.
+fn reference_addresses(p: &Pattern) -> Vec<Vec<u64>> {
+    let mut tagu = datamaestro::agu::TemporalAgu::new(p.base, &p.t_bounds, &p.t_strides);
+    let sagu = datamaestro::agu::SpatialAgu::new(&p.s_bounds, &p.s_strides);
+    let mut out = Vec::new();
+    while let Some(ta) = tagu.next_address() {
+        out.push(
+            (0..sagu.num_channels())
+                .map(|c| sagu.channel_address(ta, c))
+                .collect(),
+        );
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The read streamer delivers, wide word by wide word, exactly the
+    /// bytes its affine pattern addresses.
+    #[test]
+    fn read_stream_matches_reference(p in pattern_strategy()) {
+        let cfg = mem_cfg();
+        let mut mem = MemorySubsystem::new(cfg);
+        // Memory image: byte value = low byte of its linear address * 31.
+        let view = AddressRemapper::new(&cfg, p.mode).unwrap();
+        let image: Vec<u8> = (0..cfg.capacity_bytes())
+            .map(|i| (i.wrapping_mul(31)) as u8)
+            .collect();
+        mem.scratchpad_mut().host_write(&view, Addr::ZERO, &image).unwrap();
+
+        let design = DesignConfig::builder("p", StreamerMode::Read)
+            .spatial_bounds(p.s_bounds.clone())
+            .temporal_dims(p.t_bounds.len())
+            .fine_grained_prefetch(p.fine_grained)
+            .build()
+            .unwrap();
+        let runtime = RuntimeConfig::builder()
+            .base(p.base)
+            .temporal(p.t_bounds.clone(), p.t_strides.clone())
+            .spatial_strides(p.s_strides.clone())
+            .addressing_mode(p.mode)
+            .build();
+        let mut streamer = match ReadStreamer::new(&design, &runtime, &mut mem) {
+            Ok(s) => s,
+            // Out-of-bounds patterns are correctly rejected; nothing to test.
+            Err(_) => return Ok(()),
+        };
+        let expected = reference_addresses(&p);
+        let mut got = Vec::new();
+        let mut guard = 0;
+        while !streamer.is_done() {
+            streamer.begin_cycle();
+            for resp in mem.take_responses() {
+                streamer.accept_response(resp);
+            }
+            if streamer.can_pop_wide() {
+                got.push(streamer.pop_wide());
+            }
+            streamer.generate_and_issue(&mut mem);
+            let grants = mem.arbitrate().to_vec();
+            streamer.handle_grants(&grants);
+            guard += 1;
+            prop_assert!(guard < 100_000, "streamer hung");
+        }
+        while streamer.can_pop_wide() {
+            got.push(streamer.pop_wide());
+        }
+        prop_assert_eq!(got.len(), expected.len());
+        for (word, addrs) in got.iter().zip(&expected) {
+            let want: Vec<u8> = addrs
+                .iter()
+                .flat_map(|&a| (a..a + WORD).map(|b| (b.wrapping_mul(31)) as u8))
+                .collect();
+            prop_assert_eq!(word.clone(), want);
+        }
+    }
+
+    /// The write streamer scatters pushed wide words to exactly the
+    /// addresses of its affine pattern.
+    #[test]
+    fn write_stream_matches_reference(p in pattern_strategy()) {
+        let cfg = mem_cfg();
+        let mut mem = MemorySubsystem::new(cfg);
+        let design = DesignConfig::builder("p", StreamerMode::Write)
+            .spatial_bounds(p.s_bounds.clone())
+            .temporal_dims(p.t_bounds.len())
+            .fine_grained_prefetch(p.fine_grained)
+            .build()
+            .unwrap();
+        let runtime = RuntimeConfig::builder()
+            .base(p.base)
+            .temporal(p.t_bounds.clone(), p.t_strides.clone())
+            .spatial_strides(p.s_strides.clone())
+            .addressing_mode(p.mode)
+            .build();
+        let mut streamer = match WriteStreamer::new(&design, &runtime, &mut mem) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        // Overlapping write patterns (zero strides) would make the final
+        // image depend on write order; restrict to injective patterns.
+        let expected = reference_addresses(&p);
+        let mut all: Vec<u64> = expected.iter().flatten().copied().collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        if all.len() != total {
+            return Ok(());
+        }
+
+        let width = streamer.input_width();
+        let total_words = streamer.total_wide_words();
+        let mut pushed = 0u64;
+        let mut guard = 0;
+        while !streamer.is_done() {
+            if pushed < total_words && streamer.can_push_wide() {
+                let word: Vec<u8> = (0..width)
+                    .map(|i| (pushed as usize * width + i) as u8)
+                    .collect();
+                streamer.push_wide(&word);
+                pushed += 1;
+            }
+            streamer.generate_and_issue(&mut mem);
+            let grants = mem.arbitrate().to_vec();
+            streamer.handle_grants(&grants);
+            guard += 1;
+            prop_assert!(guard < 100_000, "writer hung");
+        }
+        let view = AddressRemapper::new(&cfg, p.mode).unwrap();
+        for (t, addrs) in expected.iter().enumerate() {
+            for (c, &addr) in addrs.iter().enumerate() {
+                let got = mem
+                    .scratchpad()
+                    .host_read(&view, Addr::new(addr), WORD as usize)
+                    .unwrap();
+                let want: Vec<u8> = (0..WORD as usize)
+                    .map(|i| (t * width + c * WORD as usize + i) as u8)
+                    .collect();
+                prop_assert_eq!(got, want, "step {} channel {}", t, c);
+            }
+        }
+    }
+}

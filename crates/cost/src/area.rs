@@ -1,0 +1,284 @@
+//! Structural area model (Figs. 9a and 9b).
+
+use datamaestro::{DesignConfig, ExtensionKind, StreamerMode};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::EvaluationSystemSpec;
+
+/// Per-structure unit areas in µm², representative of a 22 nm FD-SOI node.
+///
+/// These are generic library-scale numbers (a scan flip-flop with clocking
+/// overhead ≈ 2–3 µm², a dense SRAM bit with periphery ≈ 0.15–0.25 µm², an
+/// int8 MAC with its accumulator share ≈ a few hundred µm²). All breakdown
+/// *shares* are derived from structure; only the overall regime depends on
+/// these constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitAreas {
+    /// One flip-flop bit (FIFO storage, counters, pipeline registers).
+    pub ff_bit: f64,
+    /// One SRAM bit including periphery share.
+    pub sram_bit: f64,
+    /// One int8×int8 + int32 accumulate MAC.
+    pub mac8: f64,
+    /// One adder bit (carry-propagate).
+    pub adder_bit: f64,
+    /// One 2:1 mux bit.
+    pub mux_bit: f64,
+    /// One per-channel rescale unit (32×32 multiply, shift, saturate).
+    pub rescale_unit: f64,
+    /// Small control FSM (per MIC).
+    pub control_fsm: f64,
+    /// The RISC-V host (Snitch core, instruction cache, peripherals) as a
+    /// fixed hard block.
+    pub host_block: f64,
+    /// Crossbar cost per requester×bank crosspoint (wiring + arbitration
+    /// share), per data bit.
+    pub xbar_crosspoint_bit: f64,
+}
+
+impl Default for UnitAreas {
+    fn default() -> Self {
+        UnitAreas {
+            ff_bit: 2.4,
+            sram_bit: 0.17,
+            mac8: 330.0,
+            adder_bit: 1.2,
+            mux_bit: 0.55,
+            rescale_unit: 420.0,
+            control_fsm: 20.0,
+            host_block: 155_000.0,
+            xbar_crosspoint_bit: 0.012,
+        }
+    }
+}
+
+/// Address width assumed for AGU counters and datapaths.
+const ADDR_BITS: usize = 32;
+
+/// Area composition of one DataMaestro instance (Fig. 9b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataMaestroArea {
+    /// Data FIFO storage.
+    pub fifos: f64,
+    /// Address generation unit (temporal + spatial).
+    pub agu: f64,
+    /// Memory interface controllers (all channels).
+    pub mics: f64,
+    /// Datapath extensions (Transposer/Broadcaster).
+    pub extensions: f64,
+    /// Address remapper (mode-select mux over permuted bits).
+    pub remapper: f64,
+}
+
+impl DataMaestroArea {
+    /// Total instance area.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.fifos + self.agu + self.mics + self.extensions + self.remapper
+    }
+}
+
+/// Computes one DataMaestro's area from its design parameters.
+#[must_use]
+pub fn datamaestro_area(design: &DesignConfig, unit: &UnitAreas, word_bits: usize) -> DataMaestroArea {
+    let channels = design.num_channels() as f64;
+    let fifo_bits = channels * design.data_buffer_depth() as f64 * word_bits as f64;
+    // Address buffers are part of the FIFO storage class.
+    let addr_buffer_bits = channels * design.addr_buffer_depth() as f64 * ADDR_BITS as f64 / 4.0;
+    let fifos = (fifo_bits + addr_buffer_bits) * unit.ff_bit;
+
+    // Temporal AGU: per dimension a bound counter + a stride counter (two
+    // ADDR_BITS registers) plus an incrementer, then an offset-sum adder
+    // tree; spatial AGU: one adder per channel.
+    let per_dim = 2.0 * ADDR_BITS as f64 * unit.ff_bit + ADDR_BITS as f64 * unit.adder_bit;
+    let sum_tree = (design.temporal_dims() as f64) * ADDR_BITS as f64 * unit.adder_bit;
+    let spatial = channels * ADDR_BITS as f64 * unit.adder_bit;
+    let agu = design.temporal_dims() as f64 * per_dim + sum_tree + spatial;
+
+    // MIC: ORM credit counter + RSC handshake FSM per channel. Writers
+    // carry a slightly simpler controller (no outstanding tracking).
+    let mic_unit = match design.mode() {
+        StreamerMode::Read => unit.control_fsm + 8.0 * unit.ff_bit,
+        StreamerMode::Write => unit.control_fsm,
+    };
+    let mics = channels * mic_unit;
+
+    // Extensions: Transposer = full byte shuffle over the wide word;
+    // Broadcaster = fan-out wiring only.
+    let wide_bits = channels * word_bits as f64;
+    let extensions: f64 = design
+        .extensions()
+        .iter()
+        .map(|ext| match ext {
+            ExtensionKind::Transposer { .. } => wide_bits * unit.mux_bit,
+            ExtensionKind::Broadcaster { factor } => {
+                wide_bits * (*factor as f64).log2().max(1.0) * unit.mux_bit * 0.25
+            }
+        })
+        .sum();
+
+    // Remapper: a 3-way mux over the permuted address bits.
+    let remapper = 2.0 * ADDR_BITS as f64 * unit.mux_bit;
+
+    DataMaestroArea {
+        fifos,
+        agu,
+        mics,
+        extensions,
+        remapper,
+    }
+}
+
+/// System-level area breakdown (Fig. 9a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// GeMM accelerator (PE array + accumulators).
+    pub gemm: f64,
+    /// Quantization accelerator.
+    pub quant: f64,
+    /// Per-streamer DataMaestro areas, in spec order (A, B, C, D, E).
+    pub datamaestros: Vec<DataMaestroArea>,
+    /// Scratchpad SRAM.
+    pub scratchpad: f64,
+    /// Interleaved crossbar.
+    pub crossbar: f64,
+    /// RISC-V host.
+    pub host: f64,
+}
+
+impl AreaBreakdown {
+    /// Total DataMaestro area.
+    #[must_use]
+    pub fn datamaestro_total(&self) -> f64 {
+        self.datamaestros.iter().map(DataMaestroArea::total).sum()
+    }
+
+    /// Total system area in µm².
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.gemm
+            + self.quant
+            + self.datamaestro_total()
+            + self.scratchpad
+            + self.crossbar
+            + self.host
+    }
+
+    /// Total system area in mm².
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.total() / 1e6
+    }
+
+    /// A component's share of the total, in percent.
+    #[must_use]
+    pub fn share_pct(&self, component_um2: f64) -> f64 {
+        100.0 * component_um2 / self.total()
+    }
+}
+
+/// Computes the full system breakdown of Fig. 9a.
+#[must_use]
+pub fn system_area(spec: &EvaluationSystemSpec, unit: &UnitAreas) -> AreaBreakdown {
+    let word_bits = spec.mem.bank_width_bytes() * 8;
+    // GeMM accelerator: the MAC array plus the output accumulator tile and
+    // operand pipeline registers.
+    let pes = spec.array.num_pes() as f64;
+    let acc_bits = (spec.array.m_unroll * spec.array.n_unroll * 32) as f64;
+    let operand_regs =
+        ((spec.array.a_tile_bytes() + spec.array.b_tile_bytes()) * 8) as f64;
+    let gemm = pes * unit.mac8 + (acc_bits + operand_regs) * unit.ff_bit;
+
+    // Quantization accelerator: one rescale unit per output lane.
+    let quant =
+        (spec.array.m_unroll * spec.array.n_unroll) as f64 * unit.rescale_unit;
+
+    let datamaestros = spec
+        .streamers
+        .iter()
+        .map(|d| datamaestro_area(d, unit, word_bits))
+        .collect();
+
+    let scratchpad = spec.mem.capacity_bytes() as f64 * 8.0 * unit.sram_bit;
+
+    let crosspoints = (spec.total_channels() * spec.mem.num_banks()) as f64;
+    let crossbar = crosspoints * word_bits as f64 * unit.xbar_crosspoint_bit;
+
+    AreaBreakdown {
+        gemm,
+        quant,
+        datamaestros,
+        scratchpad,
+        crossbar,
+        host: unit.host_block,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown() -> AreaBreakdown {
+        system_area(&EvaluationSystemSpec::paper(), &UnitAreas::default())
+    }
+
+    #[test]
+    fn total_area_in_paper_regime() {
+        // Paper: 0.61 mm². The structural model should land in the same
+        // regime (±40 %), since proportions are what Fig. 9 is about.
+        let total = breakdown().total_mm2();
+        assert!((0.35..0.9).contains(&total), "total {total} mm²");
+    }
+
+    #[test]
+    fn datamaestro_share_is_small() {
+        let b = breakdown();
+        let share = b.share_pct(b.datamaestro_total());
+        // Paper: 6.43 %.
+        assert!((3.0..12.0).contains(&share), "DM share {share}%");
+    }
+
+    #[test]
+    fn fifos_dominate_datamaestro_a() {
+        // Fig. 9b: FIFOs ≈ 88 %, AGU ≈ 10 %, the rest small.
+        let b = breakdown();
+        let a = &b.datamaestros[0];
+        let fifo_share = 100.0 * a.fifos / a.total();
+        let agu_share = 100.0 * a.agu / a.total();
+        assert!(fifo_share > 70.0, "fifo share {fifo_share}%");
+        assert!((2.0..25.0).contains(&agu_share), "agu share {agu_share}%");
+        assert!(a.remapper < a.agu);
+        assert!(a.extensions < a.fifos);
+    }
+
+    #[test]
+    fn streamer_sizes_vary_with_parameters() {
+        // The five instances must differ (Fig. 9a: 0.28 %–2.33 % each).
+        let b = breakdown();
+        let totals: Vec<f64> = b.datamaestros.iter().map(DataMaestroArea::total).collect();
+        let min = totals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = totals.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 2.0, "sizes too uniform: {totals:?}");
+    }
+
+    #[test]
+    fn core_dominates_host() {
+        let b = breakdown();
+        let core = b.total() - b.host;
+        // Paper: core = 74.52 % of the system.
+        assert!(b.share_pct(core) > 60.0);
+        assert!(b.share_pct(core) < 90.0);
+    }
+
+    #[test]
+    fn shares_sum_to_hundred() {
+        let b = breakdown();
+        let sum = b.share_pct(b.gemm)
+            + b.share_pct(b.quant)
+            + b.share_pct(b.datamaestro_total())
+            + b.share_pct(b.scratchpad)
+            + b.share_pct(b.crossbar)
+            + b.share_pct(b.host);
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

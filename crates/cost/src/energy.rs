@@ -1,0 +1,223 @@
+//! Activity-based power model (Fig. 9c).
+//!
+//! Power = Σ (event count × per-event energy) / runtime + static shares.
+//! Event counts come straight from the cycle simulator's `RunReport`, so
+//! the breakdown reflects the actual traffic of the measured workload
+//! (GeMM-64 at 1 GHz in the paper's Fig. 9c).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energies in picojoules, representative of 22 nm at 0.8 V.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One 64-bit SRAM read.
+    pub sram_read_pj: f64,
+    /// One 64-bit SRAM write.
+    pub sram_write_pj: f64,
+    /// One int8 MAC.
+    pub mac_pj: f64,
+    /// One rescale (quantization) operation.
+    pub rescale_pj: f64,
+    /// Moving one 64-bit word through a FIFO (push + pop).
+    pub fifo_word_pj: f64,
+    /// One temporal-address generation step.
+    pub agu_step_pj: f64,
+    /// One word through the crossbar.
+    pub xbar_word_pj: f64,
+    /// Clock power of the streamer FIFO flops in milliwatts (the five
+    /// DataMaestros hold ~15k flip-flops of FIFO storage that toggle their
+    /// clock pins every cycle regardless of traffic; at 1 GHz this is a
+    /// large, activity-independent share of the streamers' power — and why
+    /// the paper's Fig. 9c attributes ~15 % of system power to them).
+    pub streamer_clock_mw: f64,
+    /// Host static + clock power in milliwatts (the Snitch core spins on a
+    /// WFI loop while the accelerator runs).
+    pub host_static_mw: f64,
+    /// Accelerator-system clock-tree and leakage power in milliwatts.
+    pub system_static_mw: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            sram_read_pj: 5.2,
+            sram_write_pj: 6.6,
+            mac_pj: 0.19,
+            rescale_pj: 0.5,
+            fifo_word_pj: 0.9,
+            agu_step_pj: 1.1,
+            xbar_word_pj: 1.4,
+            streamer_clock_mw: 32.0,
+            host_static_mw: 45.0,
+            system_static_mw: 15.0,
+        }
+    }
+}
+
+/// Event counts of one measured run (taken from the simulator).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyEvents {
+    /// Granted word reads.
+    pub sram_reads: u64,
+    /// Granted word writes.
+    pub sram_writes: u64,
+    /// int8 MACs executed.
+    pub macs: u64,
+    /// Rescale operations executed.
+    pub rescales: u64,
+    /// Words moved through streamer FIFOs.
+    pub fifo_words: u64,
+    /// Temporal addresses generated.
+    pub agu_steps: u64,
+    /// Cycles of the run.
+    pub cycles: u64,
+}
+
+/// Power breakdown in milliwatts (Fig. 9c), at the given clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// GeMM accelerator.
+    pub gemm_mw: f64,
+    /// Quantization accelerator.
+    pub quant_mw: f64,
+    /// The five DataMaestros (FIFO traffic + AGUs).
+    pub datamaestros_mw: f64,
+    /// Scratchpad + crossbar.
+    pub memory_mw: f64,
+    /// RISC-V host.
+    pub host_mw: f64,
+    /// System static/clock share.
+    pub static_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in milliwatts.
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.gemm_mw
+            + self.quant_mw
+            + self.datamaestros_mw
+            + self.memory_mw
+            + self.host_mw
+            + self.static_mw
+    }
+
+    /// A component's share in percent.
+    #[must_use]
+    pub fn share_pct(&self, component_mw: f64) -> f64 {
+        100.0 * component_mw / self.total_mw()
+    }
+
+    /// System energy efficiency in TOPS/W for the measured run.
+    #[must_use]
+    pub fn tops_per_watt(&self, macs: u64, cycles: u64, frequency_hz: f64) -> f64 {
+        let ops = 2.0 * macs as f64;
+        let seconds = cycles as f64 / frequency_hz;
+        let watts = self.total_mw() / 1e3;
+        ops / seconds / watts / 1e12
+    }
+}
+
+/// Evaluates the power breakdown for a run at `frequency_hz`.
+#[must_use]
+pub fn power_breakdown(
+    events: &EnergyEvents,
+    model: &EnergyModel,
+    frequency_hz: f64,
+) -> PowerBreakdown {
+    let seconds = events.cycles.max(1) as f64 / frequency_hz;
+    let to_mw = |pj: f64| pj * 1e-12 / seconds * 1e3;
+    PowerBreakdown {
+        gemm_mw: to_mw(events.macs as f64 * model.mac_pj),
+        quant_mw: to_mw(events.rescales as f64 * model.rescale_pj),
+        datamaestros_mw: to_mw(
+            events.fifo_words as f64 * model.fifo_word_pj
+                + events.agu_steps as f64 * model.agu_step_pj,
+        ) + model.streamer_clock_mw,
+        memory_mw: to_mw(
+            events.sram_reads as f64 * model.sram_read_pj
+                + events.sram_writes as f64 * model.sram_write_pj
+                + (events.sram_reads + events.sram_writes) as f64 * model.xbar_word_pj,
+        ),
+        host_mw: model.host_static_mw,
+        static_mw: model.system_static_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Events of an ideal GeMM-64 run: 512 steps at 100 % utilization.
+    fn gemm64_events() -> EnergyEvents {
+        let steps = 512u64; // (64/8)^3
+        let tiles = 64u64; // (64/8)^2
+        EnergyEvents {
+            // A + B reads every step (8 words each), C 4 words per tile,
+            // E 8 words per tile.
+            sram_reads: steps * 16 + tiles * 4,
+            sram_writes: tiles * 8,
+            macs: steps * 512,
+            rescales: tiles * 64,
+            // Every word passes one FIFO on its way in/out.
+            fifo_words: steps * 16 + tiles * 4 + tiles * 8,
+            agu_steps: steps * 2 + tiles * 2,
+            cycles: steps,
+        }
+    }
+
+    #[test]
+    fn total_power_in_paper_regime() {
+        // Paper: 329.4 mW for GeMM-64 at 1 GHz.
+        let p = power_breakdown(&gemm64_events(), &EnergyModel::default(), 1e9);
+        let total = p.total_mw();
+        assert!((200.0..500.0).contains(&total), "total {total} mW");
+    }
+
+    #[test]
+    fn datamaestro_power_share_matches_shape() {
+        // Paper: the five DataMaestros consume 15.06 % of total power.
+        let p = power_breakdown(&gemm64_events(), &EnergyModel::default(), 1e9);
+        let share = p.share_pct(p.datamaestros_mw);
+        assert!((5.0..25.0).contains(&share), "DM power share {share}%");
+    }
+
+    #[test]
+    fn efficiency_in_paper_regime() {
+        // Paper: 2.57 TOPS/W system-level for GeMM-64.
+        let e = gemm64_events();
+        let p = power_breakdown(&e, &EnergyModel::default(), 1e9);
+        let tops_w = p.tops_per_watt(e.macs, e.cycles, 1e9);
+        assert!((1.5..4.5).contains(&tops_w), "{tops_w} TOPS/W");
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let model = EnergyModel::default();
+        let mut busy = gemm64_events();
+        let idle = EnergyEvents {
+            cycles: 512,
+            ..EnergyEvents::default()
+        };
+        busy.cycles = 512;
+        let p_busy = power_breakdown(&busy, &model, 1e9);
+        let p_idle = power_breakdown(&idle, &model, 1e9);
+        assert!(p_busy.total_mw() > p_idle.total_mw());
+        // Static shares are frequency/activity independent.
+        assert_eq!(p_idle.gemm_mw, 0.0);
+        assert_eq!(p_idle.host_mw, model.host_static_mw);
+        assert_eq!(p_idle.datamaestros_mw, model.streamer_clock_mw);
+    }
+
+    #[test]
+    fn shares_sum_to_hundred() {
+        let p = power_breakdown(&gemm64_events(), &EnergyModel::default(), 1e9);
+        let sum = p.share_pct(p.gemm_mw)
+            + p.share_pct(p.quant_mw)
+            + p.share_pct(p.datamaestros_mw)
+            + p.share_pct(p.memory_mw)
+            + p.share_pct(p.host_mw)
+            + p.share_pct(p.static_mw);
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

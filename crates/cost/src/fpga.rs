@@ -1,0 +1,182 @@
+//! FPGA resource estimator (Fig. 8).
+//!
+//! On the VPK180 prototype, the paper reports 265 k LUTs / 59 k registers
+//! for the whole system, with the GeMM accelerator at 124 k LUTs (46.79 %)
+//! and the five DataMaestros at 14 k LUTs (5.28 %) and 4.4 k registers.
+//! This estimator maps the same structural parameters the area model uses
+//! onto LUT/FF counts with generic FPGA mapping coefficients:
+//!
+//! * one int8 MAC maps to ~240 LUTs (no DSP inference, as register-rich
+//!   int8 arrays are usually LUT-mapped for density);
+//! * streamer FIFOs map to LUTRAM (counted as LUTs, ~1 LUT per 2 stored
+//!   bits), which is why the DataMaestros' *register* count stays small;
+//! * AGU counters and pipeline state map 1:1 onto flip-flops.
+
+use datamaestro::{DesignConfig, StreamerMode};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::EvaluationSystemSpec;
+
+/// LUT/FF counts of one component.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaResources {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flop registers.
+    pub regs: u64,
+}
+
+impl FpgaResources {
+    fn add(&mut self, other: FpgaResources) {
+        self.luts += other.luts;
+        self.regs += other.regs;
+    }
+}
+
+/// The Fig. 8 resource table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaReport {
+    /// GeMM accelerator.
+    pub gemm: FpgaResources,
+    /// Quantization accelerator.
+    pub quant: FpgaResources,
+    /// All five DataMaestros combined.
+    pub datamaestros: FpgaResources,
+    /// Crossbar + memory controllers.
+    pub interconnect: FpgaResources,
+    /// RISC-V host and platform glue.
+    pub host: FpgaResources,
+}
+
+impl FpgaReport {
+    /// Whole-system totals.
+    #[must_use]
+    pub fn total(&self) -> FpgaResources {
+        let mut t = FpgaResources::default();
+        for part in [
+            self.gemm,
+            self.quant,
+            self.datamaestros,
+            self.interconnect,
+            self.host,
+        ] {
+            t.add(part);
+        }
+        t
+    }
+
+    /// LUT share of a component in percent.
+    #[must_use]
+    pub fn lut_share_pct(&self, part: FpgaResources) -> f64 {
+        100.0 * part.luts as f64 / self.total().luts as f64
+    }
+
+    /// Register share of a component in percent.
+    #[must_use]
+    pub fn reg_share_pct(&self, part: FpgaResources) -> f64 {
+        100.0 * part.regs as f64 / self.total().regs as f64
+    }
+}
+
+fn streamer_resources(design: &DesignConfig, word_bits: usize) -> FpgaResources {
+    let ch = design.num_channels() as u64;
+    let dims = design.temporal_dims() as u64;
+    // FIFO storage → LUTRAM (2 bits per LUT).
+    let fifo_bits = ch * design.data_buffer_depth() as u64 * word_bits as u64;
+    let lutram = fifo_bits / 2;
+    // Per-channel request/gather logic and per-dimension AGU adders.
+    let logic_luts = ch * 110 + dims * 70 + design.extensions().len() as u64 * 220;
+    // Registers: AGU counters (2×32 b per dim), per-channel handshake and
+    // credit state; FIFO contents live in LUTRAM, not FFs.
+    let regs = dims * 64
+        + ch * match design.mode() {
+            StreamerMode::Read => 24,
+            StreamerMode::Write => 12,
+        };
+    FpgaResources {
+        luts: lutram + logic_luts,
+        regs,
+    }
+}
+
+/// Estimates the Fig. 8 table for a system build.
+#[must_use]
+pub fn fpga_report(spec: &EvaluationSystemSpec) -> FpgaReport {
+    let word_bits = spec.mem.bank_width_bytes() * 8;
+    let pes = spec.array.num_pes() as u64;
+    let gemm = FpgaResources {
+        luts: pes * 242,
+        // Accumulator tile + operand pipeline registers.
+        regs: (spec.array.m_unroll * spec.array.n_unroll * 32) as u64
+            + (spec.array.a_tile_bytes() + spec.array.b_tile_bytes()) as u64 * 8
+            + pes * 8,
+    };
+    let quant = FpgaResources {
+        luts: (spec.array.m_unroll * spec.array.n_unroll) as u64 * 180,
+        regs: (spec.array.m_unroll * spec.array.n_unroll) as u64 * 40,
+    };
+    let mut datamaestros = FpgaResources::default();
+    for design in &spec.streamers {
+        datamaestros.add(streamer_resources(design, word_bits));
+    }
+    let crosspoints = (spec.total_channels() * spec.mem.num_banks()) as u64;
+    let interconnect = FpgaResources {
+        luts: crosspoints * 14 + spec.mem.num_banks() as u64 * 300,
+        regs: spec.mem.num_banks() as u64 * 180,
+    };
+    let host = FpgaResources {
+        luts: 74_000,
+        regs: 26_000,
+    };
+    FpgaReport {
+        gemm,
+        quant,
+        datamaestros,
+        interconnect,
+        host,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FpgaReport {
+        fpga_report(&EvaluationSystemSpec::paper())
+    }
+
+    #[test]
+    fn totals_in_paper_regime() {
+        // Paper: 265 k LUTs, 59 k regs total.
+        let t = report().total();
+        assert!((180_000..380_000).contains(&t.luts), "{} LUTs", t.luts);
+        assert!((35_000..90_000).contains(&t.regs), "{} regs", t.regs);
+    }
+
+    #[test]
+    fn gemm_dominates_luts() {
+        // Paper: GeMM = 46.79 % of LUTs.
+        let r = report();
+        let share = r.lut_share_pct(r.gemm);
+        assert!((35.0..60.0).contains(&share), "GeMM LUT share {share}%");
+    }
+
+    #[test]
+    fn datamaestros_are_cheap() {
+        // Paper: 14 k LUTs (5.28 %), 4.4 k regs (7.46 %).
+        let r = report();
+        let lut_share = r.lut_share_pct(r.datamaestros);
+        let reg_share = r.reg_share_pct(r.datamaestros);
+        assert!((2.0..12.0).contains(&lut_share), "DM LUT share {lut_share}%");
+        assert!((2.0..15.0).contains(&reg_share), "DM reg share {reg_share}%");
+    }
+
+    #[test]
+    fn writer_streamers_use_fewer_regs_per_channel() {
+        let spec = EvaluationSystemSpec::paper();
+        let word_bits = 64;
+        let a = streamer_resources(&spec.streamers[0], word_bits); // 8-ch reader
+        let e = streamer_resources(&spec.streamers[4], word_bits); // 8-ch writer
+        assert!(a.regs > e.regs);
+    }
+}

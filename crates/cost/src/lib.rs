@@ -1,0 +1,32 @@
+//! Analytical cost models for the DataMaestro evaluation system.
+//!
+//! The paper reports synthesis (GF22FDX, 1 GHz, 0.8 V) and FPGA (VPK180)
+//! results. Without a PDK or synthesis flow, this crate substitutes
+//! *structural* models:
+//!
+//! * [`area`] — every component's area is computed from its design
+//!   parameters (FIFO bits, counter widths, MAC count, SRAM bits) times
+//!   per-structure unit costs representative of a 22 nm node. The
+//!   *proportions* between components — the content of Figs. 9(a) and 9(b)
+//!   — therefore derive from the same design-time parameters the simulator
+//!   uses, not from the paper's results.
+//! * [`energy`] — per-event energies (SRAM access, MAC, FIFO transfer, AGU
+//!   step) multiplied by event counts measured by the cycle simulator give
+//!   the power breakdown of Fig. 9(c).
+//! * [`fpga`] — LUT/FF estimates per component for the Fig. 8 resource
+//!   table (FIFO storage maps to LUTRAM on the FPGA, so it counts toward
+//!   LUTs, not registers).
+//!
+//! The absolute scale of the unit costs is chosen to land in the same
+//! regime as the paper's totals (0.61 mm², 329.4 mW); every relative number
+//! is produced by the model, not copied.
+
+pub mod area;
+pub mod energy;
+pub mod fpga;
+pub mod spec;
+
+pub use area::{AreaBreakdown, DataMaestroArea, UnitAreas};
+pub use energy::{EnergyEvents, EnergyModel, PowerBreakdown};
+pub use fpga::{FpgaReport, FpgaResources};
+pub use spec::EvaluationSystemSpec;

@@ -1,0 +1,77 @@
+//! Structural specification of the evaluation system for costing.
+
+use datamaestro::DesignConfig;
+use dm_accel::GemmArrayConfig;
+use dm_compiler::{design_a, design_b, design_c, design_d, design_e, BufferDepths, FeatureSet};
+use dm_mem::MemConfig;
+
+/// The hardware build being costed: five DataMaestros, the GeMM and
+/// quantization accelerators, and the on-chip scratchpad.
+///
+/// Note the scratchpad here is the *silicon* scratchpad (128 KiB, as a
+/// taped-out accelerator would carry); the simulator's default memory is
+/// deliberately oversized so whole DNN layers fit without modelling a DRAM
+/// back side — capacity does not affect utilization, but it very much
+/// affects area, so the cost model uses the silicon-scale geometry.
+#[derive(Debug, Clone)]
+pub struct EvaluationSystemSpec {
+    /// The five streamers: A, B, C (readers), D, E (writers).
+    pub streamers: Vec<DesignConfig>,
+    /// GeMM array unrolling.
+    pub array: GemmArrayConfig,
+    /// Silicon scratchpad geometry.
+    pub mem: MemConfig,
+}
+
+impl EvaluationSystemSpec {
+    /// The paper's evaluation system (Fig. 6): fully featured streamers,
+    /// 8×8×8 array, 32-bank 128 KiB scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the built-in parameters.
+    #[must_use]
+    pub fn paper() -> Self {
+        let features = FeatureSet::full();
+        let depths = BufferDepths::default();
+        let streamers = vec![
+            design_a(&features, depths).expect("valid design"),
+            design_b(&features, depths).expect("valid design"),
+            design_c(&features, depths).expect("valid design"),
+            design_d(&features, depths).expect("valid design"),
+            design_e(&features, depths).expect("valid design"),
+        ];
+        EvaluationSystemSpec {
+            streamers,
+            array: GemmArrayConfig::paper(),
+            mem: MemConfig::new(32, 8, 512).expect("valid geometry"),
+        }
+    }
+
+    /// Total streamer channels.
+    #[must_use]
+    pub fn total_channels(&self) -> usize {
+        self.streamers.iter().map(DesignConfig::num_channels).sum()
+    }
+}
+
+impl Default for EvaluationSystemSpec {
+    fn default() -> Self {
+        EvaluationSystemSpec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_structure() {
+        let spec = EvaluationSystemSpec::paper();
+        assert_eq!(spec.streamers.len(), 5);
+        assert_eq!(spec.array.num_pes(), 512);
+        assert_eq!(spec.mem.capacity_bytes(), 128 * 1024);
+        // A(8) + B(8) + C(4) + D(32) + E(8).
+        assert_eq!(spec.total_channels(), 60);
+    }
+}

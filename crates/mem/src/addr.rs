@@ -1,0 +1,161 @@
+//! Address newtypes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the scratchpad's linear address space.
+///
+/// Addresses are plain byte offsets; the [`AddressRemapper`] decides which
+/// physical `(bank, row)` a word-aligned address lands in.
+///
+/// # Examples
+///
+/// ```
+/// use dm_mem::Addr;
+///
+/// let a = Addr::new(64);
+/// assert_eq!((a + 8).get(), 72);
+/// assert!(a.is_aligned(8));
+/// assert!(!Addr::new(5).is_aligned(8));
+/// ```
+///
+/// [`AddressRemapper`]: crate::AddressRemapper
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null (zero) address.
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates a byte address.
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        Addr(value)
+    }
+
+    /// Returns the raw byte offset.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if the address is a multiple of `alignment`.
+    #[must_use]
+    pub const fn is_aligned(self, alignment: u64) -> bool {
+        self.0.is_multiple_of(alignment)
+    }
+
+    /// Word index of this address for a given word size in bytes.
+    #[must_use]
+    pub const fn word_index(self, word_bytes: u64) -> u64 {
+        self.0 / word_bytes
+    }
+
+    /// Byte offset within the containing word.
+    #[must_use]
+    pub const fn word_offset(self, word_bytes: u64) -> u64 {
+        self.0 % word_bytes
+    }
+
+    /// Checked addition of a byte offset.
+    #[must_use]
+    pub fn checked_add(self, rhs: u64) -> Option<Addr> {
+        self.0.checked_add(rhs).map(Addr)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(value: u64) -> Self {
+        Addr(value)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(value: Addr) -> Self {
+        value.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+/// A physical location in the banked scratchpad: which bank, which row.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BankLocation {
+    /// Bank index, `0..num_banks`.
+    pub bank: usize,
+    /// Row (wordline) index inside the bank.
+    pub row: usize,
+}
+
+impl fmt::Display for BankLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank {} row {}", self.bank, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_word_math() {
+        let a = Addr::new(26);
+        assert!(!a.is_aligned(8));
+        assert_eq!(a.word_index(8), 3);
+        assert_eq!(a.word_offset(8), 2);
+    }
+
+    #[test]
+    fn addition() {
+        let mut a = Addr::new(8);
+        a += 8;
+        assert_eq!(a + 16, Addr::new(32));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Addr::new(u64::MAX).checked_add(1), None);
+        assert_eq!(Addr::new(1).checked_add(1), Some(Addr::new(2)));
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(
+            BankLocation { bank: 2, row: 9 }.to_string(),
+            "bank 2 row 9"
+        );
+    }
+}

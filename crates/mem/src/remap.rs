@@ -1,0 +1,412 @@
+//! Addressing modes and the address remapper (§III-D, Fig. 5 of the paper).
+//!
+//! Two addressing modes are common for multi-banked memories: fully
+//! interleaved (FIMA — consecutive words in consecutive banks) and
+//! non-interleaved (NIMA — consecutive words in the same bank). The paper
+//! introduces the intermediate *grouped-interleaved* mode (GIMA): banks are
+//! partitioned into groups of `N_BG`; addresses interleave across the banks
+//! *inside* a group and are contiguous *across* groups. FIMA and NIMA are
+//! the two extremes of GIMA (`N_BG = N_BF` and `N_BG = 1` respectively).
+//!
+//! When every size is a power of two, the mapping is a pure bit permutation
+//! of the word address — which is why the hardware remapper of the paper
+//! costs only a multiplexer of permuted wires. This module implements the
+//! same permutation arithmetically and verifies the power-of-two
+//! preconditions at construction time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Addr, BankLocation};
+use crate::error::MemError;
+use crate::scratchpad::MemConfig;
+
+/// Runtime-selectable addressing mode (the `R_S` configuration of Table II).
+///
+/// # Examples
+///
+/// ```
+/// use dm_mem::AddressingMode;
+///
+/// let gima = AddressingMode::GroupedInterleaved { group_banks: 8 };
+/// assert_eq!(gima.group_banks(32), 8);
+/// assert_eq!(AddressingMode::FullyInterleaved.group_banks(32), 32);
+/// assert_eq!(AddressingMode::NonInterleaved.group_banks(32), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressingMode {
+    /// FIMA: word addresses interleave across all banks.
+    FullyInterleaved,
+    /// GIMA: interleaved within a group of `group_banks` banks, contiguous
+    /// across groups.
+    GroupedInterleaved {
+        /// Banks per group (`N_BG`); must be a power of two dividing the
+        /// total bank count.
+        group_banks: usize,
+    },
+    /// NIMA: consecutive word addresses stay within one bank.
+    NonInterleaved,
+}
+
+impl AddressingMode {
+    /// The effective group size for a memory with `num_banks` banks.
+    #[must_use]
+    pub fn group_banks(self, num_banks: usize) -> usize {
+        match self {
+            AddressingMode::FullyInterleaved => num_banks,
+            AddressingMode::GroupedInterleaved { group_banks } => group_banks,
+            AddressingMode::NonInterleaved => 1,
+        }
+    }
+
+    /// Short human-readable name matching the paper's terminology.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AddressingMode::FullyInterleaved => "FIMA",
+            AddressingMode::GroupedInterleaved { .. } => "GIMA",
+            AddressingMode::NonInterleaved => "NIMA",
+        }
+    }
+}
+
+impl Default for AddressingMode {
+    /// FIMA is the conventional default of general-purpose systems.
+    fn default() -> Self {
+        AddressingMode::FullyInterleaved
+    }
+}
+
+impl std::fmt::Display for AddressingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddressingMode::GroupedInterleaved { group_banks } => {
+                write!(f, "GIMA({group_banks})")
+            }
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// Maps linear word addresses to physical `(bank, row)` locations under a
+/// given [`AddressingMode`].
+///
+/// One remapper is instantiated per DataMaestro; its mode is part of the
+/// streamer's runtime configuration.
+///
+/// # Examples
+///
+/// ```
+/// use dm_mem::{AddressRemapper, AddressingMode, MemConfig};
+///
+/// let cfg = MemConfig::new(4, 8, 16)?;
+/// let nima = AddressRemapper::new(&cfg, AddressingMode::NonInterleaved)?;
+/// // Under NIMA the first 16 words all live in bank 0.
+/// assert!((0..16).all(|w| nima.map_word(w).bank == 0));
+/// assert_eq!(nima.map_word(16).bank, 1);
+/// # Ok::<(), dm_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressRemapper {
+    mode: AddressingMode,
+    num_banks: usize,
+    rows_per_bank: usize,
+    word_bytes: u64,
+    group_banks: usize,
+}
+
+impl AddressRemapper {
+    /// Creates a remapper for the given memory geometry and mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotPowerOfTwo`] if the group size is not a power
+    /// of two, or [`MemError::GroupTooLarge`] if it exceeds or does not
+    /// divide the bank count — the hardware bit permutation only exists for
+    /// power-of-two groupings.
+    pub fn new(config: &MemConfig, mode: AddressingMode) -> Result<Self, MemError> {
+        let group_banks = mode.group_banks(config.num_banks());
+        if !group_banks.is_power_of_two() {
+            return Err(MemError::NotPowerOfTwo {
+                parameter: "group_banks",
+                value: group_banks,
+            });
+        }
+        if group_banks > config.num_banks() || !config.num_banks().is_multiple_of(group_banks) {
+            return Err(MemError::GroupTooLarge {
+                group: group_banks,
+                banks: config.num_banks(),
+            });
+        }
+        Ok(AddressRemapper {
+            mode,
+            num_banks: config.num_banks(),
+            rows_per_bank: config.rows_per_bank(),
+            word_bytes: config.bank_width_bytes() as u64,
+            group_banks,
+        })
+    }
+
+    /// The addressing mode this remapper implements.
+    #[must_use]
+    pub fn mode(&self) -> AddressingMode {
+        self.mode
+    }
+
+    /// Word size in bytes.
+    #[must_use]
+    pub fn word_bytes(&self) -> u64 {
+        self.word_bytes
+    }
+
+    /// Total capacity in words.
+    #[must_use]
+    pub fn capacity_words(&self) -> u64 {
+        (self.num_banks * self.rows_per_bank) as u64
+    }
+
+    /// Maps a linear *word* index to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word index exceeds the scratchpad capacity; simulated
+    /// components validate bounds before issuing, so an out-of-range word
+    /// here is a compiler/AGU bug worth failing loudly on.
+    #[must_use]
+    pub fn map_word(&self, word: u64) -> BankLocation {
+        assert!(
+            word < self.capacity_words(),
+            "word index {word} beyond scratchpad capacity {}",
+            self.capacity_words()
+        );
+        let g = self.group_banks as u64;
+        let rows = self.rows_per_bank as u64;
+        let group_capacity = g * rows;
+        let group = word / group_capacity;
+        let local = word % group_capacity;
+        let bank_in_group = local % g;
+        let row = local / g;
+        BankLocation {
+            bank: (group * g + bank_in_group) as usize,
+            row: row as usize,
+        }
+    }
+
+    /// Maps a word-aligned *byte* address to its physical location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Misaligned`] for a non-word-aligned address and
+    /// [`MemError::OutOfBounds`] for an address beyond capacity.
+    pub fn map_byte(&self, addr: Addr) -> Result<BankLocation, MemError> {
+        if !addr.is_aligned(self.word_bytes) {
+            return Err(MemError::Misaligned {
+                addr: addr.get(),
+                alignment: self.word_bytes,
+            });
+        }
+        let word = addr.word_index(self.word_bytes);
+        if word >= self.capacity_words() {
+            return Err(MemError::OutOfBounds {
+                addr: addr.get(),
+                capacity: self.capacity_words() * self.word_bytes,
+            });
+        }
+        Ok(self.map_word(word))
+    }
+
+    /// Inverse mapping: physical location back to the linear word index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is outside the memory geometry.
+    #[must_use]
+    pub fn unmap(&self, loc: BankLocation) -> u64 {
+        assert!(loc.bank < self.num_banks && loc.row < self.rows_per_bank);
+        let g = self.group_banks as u64;
+        let rows = self.rows_per_bank as u64;
+        let group = loc.bank as u64 / g;
+        let bank_in_group = loc.bank as u64 % g;
+        group * g * rows + loc.row as u64 * g + bank_in_group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> MemConfig {
+        MemConfig::new(8, 8, 64).expect("valid test geometry")
+    }
+
+    #[test]
+    fn fima_interleaves_all_banks() {
+        let r = AddressRemapper::new(&cfg(), AddressingMode::FullyInterleaved).unwrap();
+        for w in 0..16 {
+            let loc = r.map_word(w);
+            assert_eq!(loc.bank as u64, w % 8);
+            assert_eq!(loc.row as u64, w / 8);
+        }
+    }
+
+    #[test]
+    fn nima_fills_banks_sequentially() {
+        let r = AddressRemapper::new(&cfg(), AddressingMode::NonInterleaved).unwrap();
+        assert_eq!(r.map_word(0), BankLocation { bank: 0, row: 0 });
+        assert_eq!(r.map_word(63), BankLocation { bank: 0, row: 63 });
+        assert_eq!(r.map_word(64), BankLocation { bank: 1, row: 0 });
+    }
+
+    #[test]
+    fn gima_interleaves_within_group() {
+        let mode = AddressingMode::GroupedInterleaved { group_banks: 4 };
+        let r = AddressRemapper::new(&cfg(), mode).unwrap();
+        // First group: banks 0..4 interleaved.
+        assert_eq!(r.map_word(0).bank, 0);
+        assert_eq!(r.map_word(1).bank, 1);
+        assert_eq!(r.map_word(3).bank, 3);
+        assert_eq!(r.map_word(4), BankLocation { bank: 0, row: 1 });
+        // Second group starts after the first group's full capacity.
+        let group_capacity = 4 * 64;
+        assert_eq!(r.map_word(group_capacity as u64).bank, 4);
+    }
+
+    #[test]
+    fn extremes_match_special_modes() {
+        let fima = AddressRemapper::new(&cfg(), AddressingMode::FullyInterleaved).unwrap();
+        let gima8 = AddressRemapper::new(
+            &cfg(),
+            AddressingMode::GroupedInterleaved { group_banks: 8 },
+        )
+        .unwrap();
+        let nima = AddressRemapper::new(&cfg(), AddressingMode::NonInterleaved).unwrap();
+        let gima1 = AddressRemapper::new(
+            &cfg(),
+            AddressingMode::GroupedInterleaved { group_banks: 1 },
+        )
+        .unwrap();
+        for w in 0..fima.capacity_words() {
+            assert_eq!(fima.map_word(w), gima8.map_word(w));
+            assert_eq!(nima.map_word(w), gima1.map_word(w));
+        }
+    }
+
+    #[test]
+    fn invalid_group_rejected() {
+        let err = AddressRemapper::new(
+            &cfg(),
+            AddressingMode::GroupedInterleaved { group_banks: 3 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MemError::NotPowerOfTwo { .. }));
+        let err = AddressRemapper::new(
+            &cfg(),
+            AddressingMode::GroupedInterleaved { group_banks: 16 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MemError::GroupTooLarge { .. }));
+    }
+
+    #[test]
+    fn map_byte_validates() {
+        let r = AddressRemapper::new(&cfg(), AddressingMode::FullyInterleaved).unwrap();
+        assert!(matches!(
+            r.map_byte(Addr::new(3)),
+            Err(MemError::Misaligned { .. })
+        ));
+        let capacity = r.capacity_words() * r.word_bytes();
+        assert!(matches!(
+            r.map_byte(Addr::new(capacity)),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert_eq!(
+            r.map_byte(Addr::new(8)).unwrap(),
+            BankLocation { bank: 1, row: 0 }
+        );
+    }
+
+    #[test]
+    fn mode_display_and_default() {
+        assert_eq!(AddressingMode::default(), AddressingMode::FullyInterleaved);
+        assert_eq!(AddressingMode::FullyInterleaved.to_string(), "FIMA");
+        assert_eq!(
+            AddressingMode::GroupedInterleaved { group_banks: 4 }.to_string(),
+            "GIMA(4)"
+        );
+        assert_eq!(AddressingMode::NonInterleaved.to_string(), "NIMA");
+    }
+
+    /// Reference implementation of §III-D's insight: for power-of-two
+    /// geometry, the (bank, row) mapping is a pure permutation of the word
+    /// address bits. GIMA(g) with `b` bank bits and group bits `gb =
+    /// log2(g)`: the row is formed from the address bits *above* the group
+    /// bits with the inter-group bits moved below the intra-group row bits:
+    ///
+    /// ```text
+    /// word = [ group | row-within-group | bank-in-group ]
+    /// bank = [ group | bank-in-group ]
+    /// row  = [ row-within-group ]
+    /// ```
+    fn bit_permuted(word: u64, num_banks: u64, group: u64, rows: u64) -> BankLocation {
+        let gb = group.trailing_zeros();
+        let rb = rows.trailing_zeros();
+        let bank_in_group = word & (group - 1);
+        let row = (word >> gb) & (rows - 1);
+        let group_idx = (word >> (gb + rb)) & (num_banks / group - 1);
+        BankLocation {
+            bank: ((group_idx << gb) | bank_in_group) as usize,
+            row: row as usize,
+        }
+    }
+
+    proptest! {
+        /// The arithmetic remapper equals the explicit bit permutation for
+        /// every power-of-two grouping — the property that makes the
+        /// hardware remapper a mux of rewired address bits.
+        #[test]
+        fn remapper_is_a_bit_permutation(group_log2 in 0u32..4, word in 0u64..512) {
+            let g = 1u64 << group_log2;
+            let r = AddressRemapper::new(
+                &cfg(),
+                AddressingMode::GroupedInterleaved { group_banks: g as usize },
+            ).unwrap();
+            prop_assert_eq!(r.map_word(word), bit_permuted(word, 8, g, 64));
+        }
+
+        /// Every mode is a bijection word ↔ (bank, row): unmap(map(w)) == w
+        /// and all mapped locations are unique.
+        #[test]
+        fn mapping_is_bijective(group_log2 in 0u32..4) {
+            let mode = AddressingMode::GroupedInterleaved {
+                group_banks: 1 << group_log2,
+            };
+            let r = AddressRemapper::new(&cfg(), mode).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for w in 0..r.capacity_words() {
+                let loc = r.map_word(w);
+                prop_assert!(loc.bank < 8 && loc.row < 64);
+                prop_assert!(seen.insert(loc), "duplicate location for word {}", w);
+                prop_assert_eq!(r.unmap(loc), w);
+            }
+        }
+
+        /// A burst of `group_banks` consecutive words never collides on a
+        /// bank — the property the compiler relies on when laying out an
+        /// operand inside one bank group.
+        #[test]
+        fn consecutive_words_spread_across_group(
+            group_log2 in 0u32..4,
+            start in 0u64..400,
+        ) {
+            let g = 1usize << group_log2;
+            let r = AddressRemapper::new(
+                &cfg(),
+                AddressingMode::GroupedInterleaved { group_banks: g },
+            ).unwrap();
+            let start = start.min(r.capacity_words() - g as u64);
+            let banks: std::collections::HashSet<usize> =
+                (start..start + g as u64).map(|w| r.map_word(w).bank).collect();
+            prop_assert_eq!(banks.len(), g);
+        }
+    }
+}

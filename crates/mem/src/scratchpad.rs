@@ -1,0 +1,370 @@
+//! Scratchpad geometry and backing store.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Addr, BankLocation};
+use crate::error::MemError;
+use crate::remap::AddressRemapper;
+
+/// Geometry of the multi-banked scratchpad: `N_BF` banks of
+/// `W_B`-byte-wide words, `rows_per_bank` wordlines each.
+///
+/// # Examples
+///
+/// ```
+/// use dm_mem::MemConfig;
+///
+/// let cfg = MemConfig::new(32, 8, 4096)?;
+/// assert_eq!(cfg.capacity_bytes(), 32 * 8 * 4096);
+/// assert_eq!(cfg.bandwidth_bytes_per_cycle(), 256);
+/// # Ok::<(), dm_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemConfig {
+    num_banks: usize,
+    bank_width_bytes: usize,
+    rows_per_bank: usize,
+}
+
+impl MemConfig {
+    /// Creates a memory geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotPowerOfTwo`] if any dimension is not a
+    /// non-zero power of two; the address remapper's bit permutation
+    /// requires power-of-two geometry.
+    pub fn new(
+        num_banks: usize,
+        bank_width_bytes: usize,
+        rows_per_bank: usize,
+    ) -> Result<Self, MemError> {
+        for (name, value) in [
+            ("num_banks", num_banks),
+            ("bank_width_bytes", bank_width_bytes),
+            ("rows_per_bank", rows_per_bank),
+        ] {
+            if !value.is_power_of_two() {
+                return Err(MemError::NotPowerOfTwo {
+                    parameter: name,
+                    value,
+                });
+            }
+        }
+        Ok(MemConfig {
+            num_banks,
+            bank_width_bytes,
+            rows_per_bank,
+        })
+    }
+
+    /// Number of banks (`N_BF`).
+    #[must_use]
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// Word width of one bank in bytes (`W_B`).
+    #[must_use]
+    pub fn bank_width_bytes(&self) -> usize {
+        self.bank_width_bytes
+    }
+
+    /// Wordlines per bank.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> usize {
+        self.rows_per_bank
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.num_banks * self.bank_width_bytes * self.rows_per_bank) as u64
+    }
+
+    /// Peak bandwidth: one word per bank per cycle.
+    #[must_use]
+    pub fn bandwidth_bytes_per_cycle(&self) -> u64 {
+        (self.num_banks * self.bank_width_bytes) as u64
+    }
+}
+
+impl Default for MemConfig {
+    /// The evaluation-system default: 32 banks × 64-bit, sized at 16 MiB so
+    /// whole DNN layers fit without modelling a DRAM back side (the paper
+    /// measures utilization over DataMaestro-active cycles only, excluding
+    /// off-chip refill; see DESIGN.md §3).
+    fn default() -> Self {
+        MemConfig::new(32, 8, 65_536).expect("default geometry is valid")
+    }
+}
+
+/// The scratchpad backing store: `num_banks` banks of raw bytes.
+///
+/// The scratchpad itself is address-space agnostic — it only understands
+/// physical `(bank, row)` locations. Linear views are provided by pairing it
+/// with an [`AddressRemapper`], which is how the simulated host preloads
+/// operands and reads back results.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    config: MemConfig,
+    banks: Vec<Vec<u8>>,
+}
+
+impl Scratchpad {
+    /// Allocates a zero-initialized scratchpad.
+    #[must_use]
+    pub fn new(config: MemConfig) -> Self {
+        let bank_bytes = config.bank_width_bytes * config.rows_per_bank;
+        Scratchpad {
+            config,
+            banks: vec![vec![0; bank_bytes]; config.num_banks],
+        }
+    }
+
+    /// The geometry.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Reads the full word at a physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-geometry location (simulator-internal bug).
+    #[must_use]
+    pub fn read_row(&self, loc: BankLocation) -> &[u8] {
+        let w = self.config.bank_width_bytes;
+        &self.banks[loc.bank][loc.row * w..(loc.row + 1) * w]
+    }
+
+    /// Writes bytes into the word at a physical location under a byte mask.
+    ///
+    /// `mask[i] == true` writes `data[i]`; other bytes are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data`/`mask` lengths differ from the bank width or the
+    /// location is out of geometry.
+    pub fn write_row(&mut self, loc: BankLocation, data: &[u8], mask: &[bool]) {
+        let w = self.config.bank_width_bytes;
+        assert_eq!(data.len(), w, "write data must be one full word");
+        assert_eq!(mask.len(), w, "write mask must cover the word");
+        let row = &mut self.banks[loc.bank][loc.row * w..(loc.row + 1) * w];
+        for ((dst, &src), &m) in row.iter_mut().zip(data).zip(mask) {
+            if m {
+                *dst = src;
+            }
+        }
+    }
+
+    /// Writes a full word (all bytes) at a physical location.
+    pub fn write_row_full(&mut self, loc: BankLocation, data: &[u8]) {
+        let w = self.config.bank_width_bytes;
+        assert_eq!(data.len(), w, "write data must be one full word");
+        let row = &mut self.banks[loc.bank][loc.row * w..(loc.row + 1) * w];
+        row.copy_from_slice(data);
+    }
+
+    /// Host-side (non-simulated) linear write through a remapper view.
+    ///
+    /// Used to preload operands before a run; does not consume simulated
+    /// cycles or count as memory accesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the span exceeds capacity.
+    pub fn host_write(
+        &mut self,
+        remapper: &AddressRemapper,
+        addr: Addr,
+        bytes: &[u8],
+    ) -> Result<(), MemError> {
+        let w = self.config.bank_width_bytes as u64;
+        let end = addr
+            .checked_add(bytes.len() as u64)
+            .ok_or(MemError::OutOfBounds {
+                addr: addr.get(),
+                capacity: self.config.capacity_bytes(),
+            })?;
+        if end.get() > self.config.capacity_bytes() {
+            return Err(MemError::OutOfBounds {
+                addr: addr.get(),
+                capacity: self.config.capacity_bytes(),
+            });
+        }
+        for (i, &byte) in bytes.iter().enumerate() {
+            let byte_addr = addr + i as u64;
+            let loc = remapper.map_word(byte_addr.word_index(w));
+            let offset = byte_addr.word_offset(w) as usize;
+            self.banks[loc.bank][loc.row * w as usize + offset] = byte;
+        }
+        Ok(())
+    }
+
+    /// Host-side (non-simulated) linear read through a remapper view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the span exceeds capacity.
+    pub fn host_read(
+        &self,
+        remapper: &AddressRemapper,
+        addr: Addr,
+        len: usize,
+    ) -> Result<Vec<u8>, MemError> {
+        let w = self.config.bank_width_bytes as u64;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(MemError::OutOfBounds {
+                addr: addr.get(),
+                capacity: self.config.capacity_bytes(),
+            })?;
+        if end.get() > self.config.capacity_bytes() {
+            return Err(MemError::OutOfBounds {
+                addr: addr.get(),
+                capacity: self.config.capacity_bytes(),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let byte_addr = addr + i as u64;
+            let loc = remapper.map_word(byte_addr.word_index(w));
+            let offset = byte_addr.word_offset(w) as usize;
+            out.push(self.banks[loc.bank][loc.row * w as usize + offset]);
+        }
+        Ok(out)
+    }
+
+    /// Zeroes the whole scratchpad.
+    pub fn clear(&mut self) {
+        for bank in &mut self.banks {
+            bank.fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remap::AddressingMode;
+    use proptest::prelude::*;
+
+    fn small() -> MemConfig {
+        MemConfig::new(4, 8, 16).unwrap()
+    }
+
+    #[test]
+    fn config_rejects_non_power_of_two() {
+        assert!(matches!(
+            MemConfig::new(3, 8, 16),
+            Err(MemError::NotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            MemConfig::new(4, 6, 16),
+            Err(MemError::NotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            MemConfig::new(4, 8, 0),
+            Err(MemError::NotPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_and_bandwidth() {
+        let cfg = small();
+        assert_eq!(cfg.capacity_bytes(), 4 * 8 * 16);
+        assert_eq!(cfg.bandwidth_bytes_per_cycle(), 32);
+    }
+
+    #[test]
+    fn row_write_read_roundtrip() {
+        let mut sp = Scratchpad::new(small());
+        let loc = BankLocation { bank: 2, row: 5 };
+        sp.write_row_full(loc, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(sp.read_row(loc), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn masked_write_preserves_bytes() {
+        let mut sp = Scratchpad::new(small());
+        let loc = BankLocation { bank: 0, row: 0 };
+        sp.write_row_full(loc, &[9; 8]);
+        let mask = [true, false, true, false, true, false, true, false];
+        sp.write_row(loc, &[1; 8], &mask);
+        assert_eq!(sp.read_row(loc), &[1, 9, 1, 9, 1, 9, 1, 9]);
+    }
+
+    #[test]
+    fn host_rw_roundtrip_unaligned_span() {
+        let cfg = small();
+        let mut sp = Scratchpad::new(cfg);
+        let remap = AddressRemapper::new(&cfg, AddressingMode::FullyInterleaved).unwrap();
+        let data: Vec<u8> = (0..40).collect();
+        sp.host_write(&remap, Addr::new(13), &data).unwrap();
+        assert_eq!(sp.host_read(&remap, Addr::new(13), 40).unwrap(), data);
+    }
+
+    #[test]
+    fn host_access_bounds_checked() {
+        let cfg = small();
+        let mut sp = Scratchpad::new(cfg);
+        let remap = AddressRemapper::new(&cfg, AddressingMode::FullyInterleaved).unwrap();
+        let capacity = cfg.capacity_bytes();
+        assert!(sp
+            .host_write(&remap, Addr::new(capacity - 1), &[0, 0])
+            .is_err());
+        assert!(sp.host_read(&remap, Addr::new(capacity), 1).is_err());
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut sp = Scratchpad::new(small());
+        sp.write_row_full(BankLocation { bank: 1, row: 1 }, &[7; 8]);
+        sp.clear();
+        assert_eq!(sp.read_row(BankLocation { bank: 1, row: 1 }), &[0; 8]);
+    }
+
+    proptest! {
+        /// Data written linearly under one addressing mode reads back
+        /// identically under the same mode, for any mode and offset — the
+        /// scratchpad plus remapper is a faithful linear memory.
+        #[test]
+        fn linear_view_roundtrip(
+            group_log2 in 0u32..3,
+            offset in 0u64..64,
+            data in proptest::collection::vec(any::<u8>(), 1..100),
+        ) {
+            let cfg = small();
+            let remap = AddressRemapper::new(
+                &cfg,
+                AddressingMode::GroupedInterleaved { group_banks: 1 << group_log2 },
+            ).unwrap();
+            let mut sp = Scratchpad::new(cfg);
+            let offset = offset.min(cfg.capacity_bytes() - data.len() as u64);
+            sp.host_write(&remap, Addr::new(offset), &data).unwrap();
+            prop_assert_eq!(
+                sp.host_read(&remap, Addr::new(offset), data.len()).unwrap(),
+                data
+            );
+        }
+
+        /// Writes through two *different* views do not alias as long as the
+        /// linear ranges are bank-group disjoint regions of the same mode —
+        /// sanity for mixed-mode operand placement.
+        #[test]
+        fn different_rows_do_not_alias(
+            data_a in proptest::collection::vec(any::<u8>(), 8),
+            data_b in proptest::collection::vec(any::<u8>(), 8),
+        ) {
+            let cfg = small();
+            let remap = AddressRemapper::new(&cfg, AddressingMode::NonInterleaved).unwrap();
+            let mut sp = Scratchpad::new(cfg);
+            sp.host_write(&remap, Addr::new(0), &data_a).unwrap();
+            sp.host_write(&remap, Addr::new(256), &data_b).unwrap();
+            prop_assert_eq!(sp.host_read(&remap, Addr::new(0), 8).unwrap(), data_a);
+            prop_assert_eq!(sp.host_read(&remap, Addr::new(256), 8).unwrap(), data_b);
+        }
+    }
+}

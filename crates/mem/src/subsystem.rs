@@ -1,0 +1,589 @@
+//! The interleaved crossbar: per-bank arbitration, grants and responses.
+//!
+//! Every DataMaestro channel (and the DMA engine used for explicit
+//! pre-passes) registers as a *requester*. Each simulated cycle proceeds as:
+//!
+//! 1. [`MemorySubsystem::take_responses`] — collect read data whose latency
+//!    elapsed (fixed single-cycle bank latency by default);
+//! 2. requesters [`submit`](MemorySubsystem::submit) at most one request
+//!    each;
+//! 3. [`MemorySubsystem::arbitrate`] — per bank, a round-robin arbiter
+//!    grants exactly one request; granted writes commit immediately, granted
+//!    reads capture data and schedule a response. Losing requests are simply
+//!    dropped — the requester observes the missing grant and retries, which
+//!    is precisely how bank conflicts turn into stall cycles.
+//!
+//! The subsystem counts granted reads/writes (the paper's "data access
+//! counts"), submissions and conflict events.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dm_sim::{Counter, Cycle, RoundRobinArbiter};
+use serde::{Deserialize, Serialize};
+
+use crate::addr::BankLocation;
+use crate::error::MemError;
+use crate::scratchpad::{MemConfig, Scratchpad};
+
+/// Identifier of a registered requester (one per streamer channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequesterId(usize);
+
+impl RequesterId {
+    /// Raw index, usable to address per-requester tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RequesterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "requester {}", self.0)
+    }
+}
+
+/// A memory operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemOp {
+    /// Read one full word.
+    Read,
+    /// Write one full word (optionally byte-masked).
+    Write {
+        /// The word to store; must be exactly one bank word wide.
+        data: Vec<u8>,
+        /// Optional byte strobes; `None` writes all bytes.
+        mask: Option<Vec<bool>>,
+    },
+}
+
+impl MemOp {
+    /// Returns `true` for reads.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self, MemOp::Read)
+    }
+}
+
+/// One request submitted to the crossbar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Who is asking.
+    pub requester: RequesterId,
+    /// Physical target location (already remapped by the streamer).
+    pub loc: BankLocation,
+    /// Opaque tag echoed in the response; channels use it to sanity-check
+    /// response ordering.
+    pub tag: u64,
+    /// The operation.
+    pub op: MemOp,
+}
+
+/// A read response delivered after the bank latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemResponse {
+    /// The requester the data belongs to.
+    pub requester: RequesterId,
+    /// Tag of the originating request.
+    pub tag: u64,
+    /// The full word read.
+    pub data: Vec<u8>,
+}
+
+/// Access statistics maintained by the subsystem.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Granted read word accesses.
+    pub reads: Counter,
+    /// Granted write word accesses.
+    pub writes: Counter,
+    /// Requests submitted (including retries after conflicts).
+    pub submissions: Counter,
+    /// Conflict events: for each bank and cycle with `k > 1` requests,
+    /// `k - 1` conflicts are recorded.
+    pub conflicts: Counter,
+}
+
+impl MemStats {
+    /// Total granted accesses (the paper's "data access count").
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+}
+
+/// The banked scratchpad behind an interleaved crossbar.
+pub struct MemorySubsystem {
+    scratchpad: Scratchpad,
+    read_latency: u64,
+    arbiters: Vec<RoundRobinArbiter>,
+    requester_names: Vec<String>,
+    /// Requests submitted in the current cycle.
+    submissions: Vec<MemRequest>,
+    submitted: Vec<bool>,
+    /// Read responses in flight: (due cycle, response).
+    in_flight: VecDeque<(Cycle, MemResponse)>,
+    /// Grant flags from the last arbitration, indexed by requester.
+    grants: Vec<bool>,
+    per_bank_accesses: Vec<u64>,
+    stats: MemStats,
+    cycle: Cycle,
+    traffic_started: bool,
+}
+
+impl MemorySubsystem {
+    /// Default single-cycle bank read latency.
+    pub const DEFAULT_READ_LATENCY: u64 = 1;
+
+    /// Creates a subsystem over a fresh zeroed scratchpad.
+    #[must_use]
+    pub fn new(config: MemConfig) -> Self {
+        Self::with_scratchpad(Scratchpad::new(config))
+    }
+
+    /// Creates a subsystem over an existing (possibly preloaded) scratchpad.
+    #[must_use]
+    pub fn with_scratchpad(scratchpad: Scratchpad) -> Self {
+        let banks = scratchpad.config().num_banks();
+        MemorySubsystem {
+            scratchpad,
+            read_latency: Self::DEFAULT_READ_LATENCY,
+            arbiters: vec![RoundRobinArbiter::new(1); banks],
+            requester_names: Vec::new(),
+            submissions: Vec::new(),
+            submitted: Vec::new(),
+            in_flight: VecDeque::new(),
+            grants: Vec::new(),
+            per_bank_accesses: vec![0; banks],
+            stats: MemStats::default(),
+            cycle: Cycle::ZERO,
+            traffic_started: false,
+        }
+    }
+
+    /// Registers a requester (e.g. `"streamer-A/ch0"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after traffic has started; the hardware crossbar's
+    /// port count is fixed at design time.
+    pub fn register_requester(&mut self, name: impl Into<String>) -> RequesterId {
+        assert!(
+            !self.traffic_started,
+            "requesters must be registered before any traffic"
+        );
+        let id = RequesterId(self.requester_names.len());
+        self.requester_names.push(name.into());
+        id
+    }
+
+    /// Name given at registration.
+    #[must_use]
+    pub fn requester_name(&self, id: RequesterId) -> &str {
+        &self.requester_names[id.0]
+    }
+
+    /// Number of registered requesters.
+    #[must_use]
+    pub fn num_requesters(&self) -> usize {
+        self.requester_names.len()
+    }
+
+    /// Sets the bank read latency in cycles (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero (combinational reads are not modelled) or
+    /// if traffic already started.
+    pub fn set_read_latency(&mut self, latency: u64) {
+        assert!(latency >= 1, "read latency must be at least one cycle");
+        assert!(!self.traffic_started, "latency is a design-time parameter");
+        self.read_latency = latency;
+    }
+
+    /// Access to the scratchpad (host preload / result inspection).
+    #[must_use]
+    pub fn scratchpad(&self) -> &Scratchpad {
+        &self.scratchpad
+    }
+
+    /// Mutable access to the scratchpad for host-side preloading.
+    pub fn scratchpad_mut(&mut self) -> &mut Scratchpad {
+        &mut self.scratchpad
+    }
+
+    /// Current simulated cycle (advances once per [`arbitrate`]).
+    ///
+    /// [`arbitrate`]: Self::arbitrate
+    #[must_use]
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Granted word accesses per bank (for load-balance inspection).
+    #[must_use]
+    pub fn per_bank_accesses(&self) -> &[u64] {
+        &self.per_bank_accesses
+    }
+
+    /// Resets statistics (not memory contents or cycle count).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+        self.per_bank_accesses.fill(0);
+    }
+
+    /// Step 1 of a cycle: collect read responses whose latency has elapsed.
+    pub fn take_responses(&mut self) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        while let Some((due, _)) = self.in_flight.front() {
+            if *due <= self.cycle {
+                out.push(self.in_flight.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Step 2 of a cycle: submit one request for a requester.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::UnknownRequester`] for an unregistered id,
+    /// [`MemError::DuplicateRequest`] if this requester already submitted in
+    /// the current cycle.
+    pub fn submit(&mut self, request: MemRequest) -> Result<(), MemError> {
+        let idx = request.requester.0;
+        if idx >= self.requester_names.len() {
+            return Err(MemError::UnknownRequester { requester: idx });
+        }
+        self.ensure_traffic_started();
+        if self.submitted[idx] {
+            return Err(MemError::DuplicateRequest { requester: idx });
+        }
+        debug_assert!(
+            request.loc.bank < self.scratchpad.config().num_banks()
+                && request.loc.row < self.scratchpad.config().rows_per_bank(),
+            "request target outside memory geometry"
+        );
+        self.submitted[idx] = true;
+        self.submissions.push(request);
+        self.stats.submissions.inc();
+        Ok(())
+    }
+
+    /// Step 3 of a cycle: arbitrate all submissions, perform granted
+    /// operations and advance the clock.
+    ///
+    /// Returns the grant flags indexed by requester; requesters that
+    /// submitted and find their flag `false` lost arbitration and should
+    /// retry next cycle.
+    pub fn arbitrate(&mut self) -> &[bool] {
+        self.ensure_traffic_started();
+        self.grants.fill(false);
+        // Group submissions per bank.
+        let num_banks = self.scratchpad.config().num_banks();
+        let mut per_bank: Vec<Vec<usize>> = vec![Vec::new(); num_banks];
+        for (i, req) in self.submissions.iter().enumerate() {
+            per_bank[req.loc.bank].push(i);
+        }
+        for (bank, submission_indices) in per_bank.iter().enumerate() {
+            if submission_indices.is_empty() {
+                continue;
+            }
+            if submission_indices.len() > 1 {
+                self.stats
+                    .conflicts
+                    .add(submission_indices.len() as u64 - 1);
+            }
+            let requesters: Vec<usize> = submission_indices
+                .iter()
+                .map(|&i| self.submissions[i].requester.0)
+                .collect();
+            let winner = self.arbiters[bank]
+                .grant_sparse(&requesters)
+                .expect("non-empty request list always grants");
+            let submission_idx = submission_indices
+                [requesters.iter().position(|&r| r == winner).expect("winner requested")];
+            self.grants[winner] = true;
+            self.per_bank_accesses[bank] += 1;
+            let request = &self.submissions[submission_idx];
+            match &request.op {
+                MemOp::Read => {
+                    self.stats.reads.inc();
+                    let data = self.scratchpad.read_row(request.loc).to_vec();
+                    self.in_flight.push_back((
+                        self.cycle + self.read_latency,
+                        MemResponse {
+                            requester: request.requester,
+                            tag: request.tag,
+                            data,
+                        },
+                    ));
+                }
+                MemOp::Write { data, mask } => {
+                    self.stats.writes.inc();
+                    match mask {
+                        Some(mask) => self.scratchpad.write_row(request.loc, data, mask),
+                        None => self.scratchpad.write_row_full(request.loc, data),
+                    }
+                }
+            }
+        }
+        self.submissions.clear();
+        self.submitted.fill(false);
+        self.cycle.advance();
+        &self.grants
+    }
+
+    /// Returns `true` when no read response is still in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty() && self.submissions.is_empty()
+    }
+
+    fn ensure_traffic_started(&mut self) {
+        if !self.traffic_started {
+            self.traffic_started = true;
+            let n = self.requester_names.len().max(1);
+            self.arbiters =
+                vec![RoundRobinArbiter::new(n); self.scratchpad.config().num_banks()];
+            self.submitted = vec![false; self.requester_names.len()];
+            self.grants = vec![false; self.requester_names.len()];
+        }
+    }
+}
+
+impl fmt::Debug for MemorySubsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySubsystem")
+            .field("config", self.scratchpad.config())
+            .field("requesters", &self.requester_names.len())
+            .field("cycle", &self.cycle)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subsystem() -> MemorySubsystem {
+        MemorySubsystem::new(MemConfig::new(4, 8, 16).unwrap())
+    }
+
+    fn read(requester: RequesterId, bank: usize, row: usize, tag: u64) -> MemRequest {
+        MemRequest {
+            requester,
+            loc: BankLocation { bank, row },
+            tag,
+            op: MemOp::Read,
+        }
+    }
+
+    #[test]
+    fn read_after_write_roundtrip() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        let word = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        mem.submit(MemRequest {
+            requester: r,
+            loc: BankLocation { bank: 1, row: 2 },
+            tag: 0,
+            op: MemOp::Write {
+                data: word.clone(),
+                mask: None,
+            },
+        })
+        .unwrap();
+        let grants = mem.arbitrate();
+        assert!(grants[r.index()]);
+        mem.submit(read(r, 1, 2, 1)).unwrap();
+        mem.arbitrate();
+        let responses = mem.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].data, word);
+        assert_eq!(responses[0].tag, 1);
+        assert_eq!(mem.stats().reads.get(), 1);
+        assert_eq!(mem.stats().writes.get(), 1);
+    }
+
+    #[test]
+    fn read_latency_is_respected() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        mem.submit(read(r, 0, 0, 7)).unwrap();
+        mem.arbitrate();
+        // Latency 1: response is available at the *next* cycle boundary,
+        // i.e. after this arbitrate the cycle has advanced and the response
+        // is due.
+        let responses = mem.take_responses();
+        assert_eq!(responses.len(), 1);
+    }
+
+    #[test]
+    fn longer_latency_delays_response() {
+        let mut mem = subsystem();
+        mem.set_read_latency(3);
+        let r = mem.register_requester("t");
+        mem.submit(read(r, 0, 0, 0)).unwrap();
+        mem.arbitrate(); // cycle 0 -> 1, due at cycle 3
+        assert!(mem.take_responses().is_empty());
+        mem.arbitrate(); // -> 2
+        assert!(mem.take_responses().is_empty());
+        mem.arbitrate(); // -> 3
+        assert_eq!(mem.take_responses().len(), 1);
+    }
+
+    #[test]
+    fn bank_conflict_grants_exactly_one() {
+        let mut mem = subsystem();
+        let a = mem.register_requester("a");
+        let b = mem.register_requester("b");
+        mem.submit(read(a, 2, 0, 0)).unwrap();
+        mem.submit(read(b, 2, 1, 0)).unwrap();
+        let grants = mem.arbitrate().to_vec();
+        assert_eq!(grants.iter().filter(|&&g| g).count(), 1);
+        assert_eq!(mem.stats().conflicts.get(), 1);
+        assert_eq!(mem.stats().reads.get(), 1);
+    }
+
+    #[test]
+    fn conflict_arbitration_is_fair_over_time() {
+        let mut mem = subsystem();
+        let a = mem.register_requester("a");
+        let b = mem.register_requester("b");
+        let mut wins = [0u32; 2];
+        for _ in 0..10 {
+            mem.submit(read(a, 0, 0, 0)).unwrap();
+            mem.submit(read(b, 0, 0, 0)).unwrap();
+            let grants = mem.arbitrate().to_vec();
+            if grants[a.index()] {
+                wins[0] += 1;
+            }
+            if grants[b.index()] {
+                wins[1] += 1;
+            }
+            mem.take_responses();
+        }
+        assert_eq!(wins, [5, 5]);
+    }
+
+    #[test]
+    fn requests_to_distinct_banks_all_granted() {
+        let mut mem = subsystem();
+        let ids: Vec<_> = (0..4).map(|i| mem.register_requester(format!("r{i}"))).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            mem.submit(read(id, i, 0, 0)).unwrap();
+        }
+        let grants = mem.arbitrate();
+        assert!(grants.iter().all(|&g| g));
+        assert_eq!(mem.stats().conflicts.get(), 0);
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        mem.submit(read(r, 0, 0, 0)).unwrap();
+        assert!(matches!(
+            mem.submit(read(r, 1, 0, 1)),
+            Err(MemError::DuplicateRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_requester_rejected() {
+        let mut mem = subsystem();
+        let _ = mem.register_requester("t");
+        let bogus = RequesterId(5);
+        assert!(matches!(
+            mem.submit(read(bogus, 0, 0, 0)),
+            Err(MemError::UnknownRequester { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "before any traffic")]
+    fn registration_after_traffic_panics() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        mem.submit(read(r, 0, 0, 0)).unwrap();
+        mem.arbitrate();
+        let _ = mem.register_requester("late");
+    }
+
+    #[test]
+    fn masked_write_through_subsystem() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        mem.submit(MemRequest {
+            requester: r,
+            loc: BankLocation { bank: 0, row: 0 },
+            tag: 0,
+            op: MemOp::Write {
+                data: vec![0xFF; 8],
+                mask: Some(vec![true, false, false, false, false, false, false, true]),
+            },
+        })
+        .unwrap();
+        mem.arbitrate();
+        let row = mem.scratchpad().read_row(BankLocation { bank: 0, row: 0 });
+        assert_eq!(row, &[0xFF, 0, 0, 0, 0, 0, 0, 0xFF]);
+    }
+
+    #[test]
+    fn per_bank_accounting() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        for i in 0..3 {
+            mem.submit(read(r, 1, i, 0)).unwrap();
+            mem.arbitrate();
+            mem.take_responses();
+        }
+        assert_eq!(mem.per_bank_accesses(), &[0, 3, 0, 0]);
+        mem.reset_stats();
+        assert_eq!(mem.stats().total_accesses(), 0);
+        assert_eq!(mem.per_bank_accesses(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn responses_preserve_issue_order_per_requester() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        // Two reads to different banks in consecutive cycles.
+        mem.scratchpad_mut()
+            .write_row_full(BankLocation { bank: 0, row: 0 }, &[1; 8]);
+        mem.scratchpad_mut()
+            .write_row_full(BankLocation { bank: 1, row: 0 }, &[2; 8]);
+        mem.submit(read(r, 0, 0, 100)).unwrap();
+        mem.arbitrate();
+        mem.submit(read(r, 1, 0, 101)).unwrap();
+        mem.arbitrate();
+        let mut tags = Vec::new();
+        tags.extend(mem.take_responses().into_iter().map(|r| r.tag));
+        mem.arbitrate();
+        tags.extend(mem.take_responses().into_iter().map(|r| r.tag));
+        assert_eq!(tags, vec![100, 101]);
+    }
+
+    #[test]
+    fn is_idle_reflects_in_flight_state() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        assert!(mem.is_idle());
+        mem.submit(read(r, 0, 0, 0)).unwrap();
+        mem.arbitrate();
+        assert!(!mem.is_idle());
+        mem.take_responses();
+        assert!(mem.is_idle());
+    }
+}

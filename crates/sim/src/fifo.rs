@@ -1,0 +1,382 @@
+//! Bounded FIFO with slot reservation.
+//!
+//! The data FIFOs inside a DataMaestro channel are not ordinary queues: the
+//! Outstanding Request Manager (ORM, Fig. 2b of the paper) *reserves* a slot
+//! for every in-flight memory request before the Request Side Controller is
+//! allowed to issue it. A response therefore always has a landing slot and a
+//! channel can never back-pressure the memory banks. [`Fifo`] models exactly
+//! that: capacity is shared between occupied slots and reservations, and
+//! reservations are filled strictly in the order they were made (memory
+//! responses per channel arrive in order because requests issue in order and
+//! the banks have a fixed latency).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Token for a reserved FIFO slot.
+///
+/// Produced by [`Fifo::try_reserve`] and consumed by [`Fifo::fill_reserved`].
+/// The token carries the reservation sequence number so that out-of-order
+/// fills — a protocol violation in the modelled hardware — are caught
+/// immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[must_use = "a reserved slot must eventually be filled"]
+pub struct ReservedSlot {
+    seq: u64,
+}
+
+impl ReservedSlot {
+    /// Returns the reservation sequence number (monotonically increasing per
+    /// FIFO).
+    pub fn sequence(self) -> u64 {
+        self.seq
+    }
+}
+
+/// A bounded FIFO queue with slot reservation.
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::Fifo;
+///
+/// let mut fifo: Fifo<&str> = Fifo::new(2);
+/// assert!(fifo.has_free_slot());
+/// let slot = fifo.try_reserve().expect("space available");
+/// // One slot left: it can still be used by a direct push.
+/// fifo.push("direct").expect("one slot remains");
+/// assert!(!fifo.has_free_slot());
+/// // The reserved slot is filled later (e.g. by a memory response) and the
+/// // element lands *in front of* later pushes, preserving request order.
+/// fifo.fill_reserved(slot, "response");
+/// assert_eq!(fifo.pop(), Some("response"));
+/// assert_eq!(fifo.pop(), Some("direct"));
+/// ```
+#[derive(Clone)]
+pub struct Fifo<T> {
+    capacity: usize,
+    /// Filled, poppable elements.
+    items: VecDeque<T>,
+    /// Elements that were pushed (directly or by fill) *after* currently
+    /// outstanding reservations; they become poppable only once all earlier
+    /// reservations have been filled. Each entry is `Some(value)` for a
+    /// direct push and `None` for a still-pending reservation.
+    tail: VecDeque<Option<T>>,
+    next_reserve_seq: u64,
+    next_fill_seq: u64,
+    high_watermark: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: a zero-depth FIFO cannot decouple
+    /// anything and always indicates a configuration bug.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Fifo {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+            tail: VecDeque::new(),
+            next_reserve_seq: 0,
+            next_fill_seq: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of poppable elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when no element is poppable.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of slots that are either occupied or reserved.
+    pub fn committed(&self) -> usize {
+        self.items.len() + self.tail.len()
+    }
+
+    /// Number of slots still available for reservation or direct push.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.committed()
+    }
+
+    /// Returns `true` if at least one slot can be reserved or pushed.
+    pub fn has_free_slot(&self) -> bool {
+        self.free_slots() > 0
+    }
+
+    /// Number of outstanding (reserved but unfilled) slots.
+    pub fn outstanding(&self) -> usize {
+        self.tail.iter().filter(|slot| slot.is_none()).count()
+    }
+
+    /// Highest number of committed slots observed; useful for sizing sweeps.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Attempts to reserve a slot for a future fill.
+    ///
+    /// Returns `None` when the FIFO (including reservations) is full — the
+    /// modelled ORM then throttles the request side.
+    pub fn try_reserve(&mut self) -> Option<ReservedSlot> {
+        if !self.has_free_slot() {
+            return None;
+        }
+        let seq = self.next_reserve_seq;
+        self.next_reserve_seq += 1;
+        self.tail.push_back(None);
+        self.note_watermark();
+        Some(ReservedSlot { seq })
+    }
+
+    /// Fills a previously reserved slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slots are filled out of reservation order; the simulated
+    /// memory system guarantees in-order responses per channel, so an
+    /// out-of-order fill indicates a modelling bug.
+    pub fn fill_reserved(&mut self, slot: ReservedSlot, value: T) {
+        assert_eq!(
+            slot.seq, self.next_fill_seq,
+            "fifo reservation filled out of order"
+        );
+        self.next_fill_seq += 1;
+        let pending = self
+            .tail
+            .iter_mut()
+            .find(|entry| entry.is_none())
+            .expect("fill without outstanding reservation");
+        *pending = Some(value);
+        self.promote_tail();
+    }
+
+    /// Pushes a value directly (no reservation), e.g. on the write path where
+    /// the producer is the accelerator rather than a memory response.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the FIFO (including reservations) is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if !self.has_free_slot() {
+            return Err(value);
+        }
+        if self.tail.is_empty() {
+            self.items.push_back(value);
+        } else {
+            // Must stay behind outstanding reservations to preserve order.
+            self.tail.push_back(Some(value));
+        }
+        self.note_watermark();
+        Ok(())
+    }
+
+    /// Pops the oldest poppable element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest poppable element.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Removes every element and reservation, resetting sequence tracking.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.tail.clear();
+        self.next_fill_seq = 0;
+        self.next_reserve_seq = 0;
+    }
+
+    fn promote_tail(&mut self) {
+        while let Some(front) = self.tail.front() {
+            if front.is_some() {
+                let value = self
+                    .tail
+                    .pop_front()
+                    .flatten()
+                    .expect("front checked to be Some");
+                self.items.push_back(value);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn note_watermark(&mut self) {
+        self.high_watermark = self.high_watermark.max(self.committed());
+    }
+}
+
+impl<T> fmt::Debug for Fifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fifo")
+            .field("capacity", &self.capacity)
+            .field("len", &self.items.len())
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut fifo = Fifo::new(3);
+        fifo.push(1).unwrap();
+        fifo.push(2).unwrap();
+        assert_eq!(fifo.len(), 2);
+        assert_eq!(fifo.pop(), Some(1));
+        assert_eq!(fifo.pop(), Some(2));
+        assert_eq!(fifo.pop(), None);
+    }
+
+    #[test]
+    fn push_fails_when_full() {
+        let mut fifo = Fifo::new(1);
+        fifo.push(1).unwrap();
+        assert_eq!(fifo.push(2), Err(2));
+    }
+
+    #[test]
+    fn reservation_consumes_capacity() {
+        let mut fifo: Fifo<u8> = Fifo::new(2);
+        let _a = fifo.try_reserve().unwrap();
+        let _b = fifo.try_reserve().unwrap();
+        assert!(fifo.try_reserve().is_none());
+        assert_eq!(fifo.push(9), Err(9));
+        assert_eq!(fifo.outstanding(), 2);
+    }
+
+    #[test]
+    fn fill_order_is_reservation_order() {
+        let mut fifo = Fifo::new(4);
+        let a = fifo.try_reserve().unwrap();
+        let b = fifo.try_reserve().unwrap();
+        fifo.fill_reserved(a, 10);
+        fifo.fill_reserved(b, 20);
+        assert_eq!(fifo.pop(), Some(10));
+        assert_eq!(fifo.pop(), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_fill_panics() {
+        let mut fifo = Fifo::new(4);
+        let _a = fifo.try_reserve().unwrap();
+        let b = fifo.try_reserve().unwrap();
+        fifo.fill_reserved(b, 20);
+    }
+
+    #[test]
+    fn direct_push_stays_behind_reservations() {
+        let mut fifo = Fifo::new(4);
+        let a = fifo.try_reserve().unwrap();
+        fifo.push(99).unwrap();
+        assert_eq!(fifo.pop(), None, "reservation blocks later pushes");
+        fifo.fill_reserved(a, 1);
+        assert_eq!(fifo.pop(), Some(1));
+        assert_eq!(fifo.pop(), Some(99));
+    }
+
+    #[test]
+    fn watermark_tracks_peak_commitment() {
+        let mut fifo = Fifo::new(4);
+        let a = fifo.try_reserve().unwrap();
+        fifo.push(1).unwrap();
+        fifo.push(2).unwrap();
+        assert_eq!(fifo.high_watermark(), 3);
+        fifo.fill_reserved(a, 0);
+        fifo.pop();
+        fifo.pop();
+        fifo.pop();
+        assert_eq!(fifo.high_watermark(), 3);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut fifo = Fifo::new(2);
+        let _ = fifo.try_reserve().unwrap();
+        fifo.clear();
+        assert_eq!(fifo.len(), 0);
+        assert_eq!(fifo.outstanding(), 0);
+        let a = fifo.try_reserve().unwrap();
+        assert_eq!(a.sequence(), 0, "sequence numbering restarts after clear");
+        fifo.fill_reserved(a, 5);
+        assert_eq!(fifo.pop(), Some(5));
+    }
+
+    proptest! {
+        /// Regardless of how pushes, reserves and fills interleave, pop order
+        /// equals commit order (reservation time for reserved slots, push
+        /// time for direct pushes) and capacity is never exceeded.
+        #[test]
+        fn ordering_invariant(ops in proptest::collection::vec(0u8..3, 1..128)) {
+            let mut fifo: Fifo<u32> = Fifo::new(8);
+            let mut pending: std::collections::VecDeque<ReservedSlot> =
+                std::collections::VecDeque::new();
+            let mut next_push = 1_000_000u32;
+            // Shadow model: values in the order they committed a slot.
+            // Reserved slots carry their sequence number; direct pushes carry
+            // values >= 1_000_000 so the two are distinguishable.
+            let mut commit_order: Vec<u32> = Vec::new();
+            let mut popped: Vec<u32> = Vec::new();
+            for op in ops {
+                match op {
+                    0 => {
+                        if let Some(slot) = fifo.try_reserve() {
+                            commit_order.push(slot.sequence() as u32);
+                            pending.push_back(slot);
+                        }
+                    }
+                    1 => {
+                        if let Some(slot) = pending.pop_front() {
+                            fifo.fill_reserved(slot, slot.sequence() as u32);
+                        }
+                    }
+                    _ => {
+                        if fifo.push(next_push).is_ok() {
+                            commit_order.push(next_push);
+                            next_push += 1;
+                        }
+                    }
+                }
+                prop_assert!(fifo.committed() <= fifo.capacity());
+                while let Some(v) = fifo.pop() {
+                    popped.push(v);
+                }
+            }
+            // Fill every remaining reservation and drain.
+            while let Some(slot) = pending.pop_front() {
+                fifo.fill_reserved(slot, slot.sequence() as u32);
+            }
+            while let Some(v) = fifo.pop() {
+                popped.push(v);
+            }
+            prop_assert_eq!(fifo.committed(), 0);
+            prop_assert_eq!(popped, commit_order);
+        }
+    }
+}

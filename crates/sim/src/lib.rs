@@ -1,0 +1,41 @@
+//! Simulation substrate for the DataMaestro reproduction.
+//!
+//! This crate provides the low-level, hardware-flavoured building blocks that
+//! the rest of the workspace composes into a cycle-level simulator of the
+//! DataMaestro evaluation system (DAC 2025):
+//!
+//! * [`Cycle`] — a strongly typed clock-cycle count;
+//! * [`Fifo`] — a bounded queue with *slot reservation*, modelling a hardware
+//!   data FIFO whose free space can be claimed by in-flight memory requests
+//!   (the paper's Outstanding Request Manager relies on this);
+//! * [`RoundRobinArbiter`] — fair single-grant arbitration, used per memory
+//!   bank by the interleaved crossbar;
+//! * [`stats`] — simple saturating counters and distribution summaries
+//!   (min / quartiles / max / mean) used to reproduce the paper's box plots;
+//! * [`trace`] — an optional, cheap event trace for debugging pipelines.
+//!
+//! Everything here is deterministic: no wall-clock time, no randomness.
+//!
+//! # Examples
+//!
+//! ```
+//! use dm_sim::{Cycle, Fifo};
+//!
+//! let mut fifo: Fifo<u32> = Fifo::new(2);
+//! let slot = fifo.try_reserve().expect("empty fifo has space");
+//! fifo.fill_reserved(slot, 7);
+//! assert_eq!(fifo.pop(), Some(7));
+//! assert_eq!(Cycle::ZERO + 3, Cycle::new(3));
+//! ```
+
+pub mod arbiter;
+pub mod cycle;
+pub mod fifo;
+pub mod stats;
+pub mod trace;
+
+pub use arbiter::RoundRobinArbiter;
+pub use cycle::Cycle;
+pub use fifo::{Fifo, ReservedSlot};
+pub use stats::{Counter, Distribution, Summary};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,316 @@
+//! Counters and distribution summaries.
+//!
+//! The ablation study of the paper (Fig. 7) reports utilization as *box
+//! plots* with annotated means across a suite of workloads; [`Distribution`]
+//! and [`Summary`] reproduce exactly those statistics (min, quartiles,
+//! median, max, mean). [`Counter`] is a trivially cheap event counter used
+//! throughout the simulator for memory accesses, conflicts, stalls, etc.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::Counter;
+///
+/// let mut reads = Counter::new();
+/// reads.inc();
+/// reads.add(3);
+/// assert_eq!(reads.get(), 4);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl AddAssign<u64> for Counter {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(value: Counter) -> Self {
+        value.0
+    }
+}
+
+/// An online collection of sample values (e.g. per-workload utilization)
+/// that can be summarized into box-plot statistics.
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::Distribution;
+///
+/// let mut d = Distribution::new();
+/// for v in [0.5, 0.75, 1.0] {
+///     d.record(v);
+/// }
+/// let s = d.summary();
+/// assert_eq!(s.min, 0.5);
+/// assert_eq!(s.max, 1.0);
+/// assert!((s.mean - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    samples: Vec<f64>,
+}
+
+impl Distribution {
+    /// Creates an empty distribution.
+    #[must_use]
+    pub fn new() -> Self {
+        Distribution::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN — a NaN sample always indicates an upstream
+    /// division-by-zero bug and would silently poison the quantiles.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample recorded into distribution");
+        self.samples.push(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Read-only access to the raw samples (insertion order).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Computes box-plot statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is empty.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        assert!(!self.samples.is_empty(), "summary of empty distribution");
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        Summary {
+            count: n,
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[n - 1],
+            mean,
+        }
+    }
+}
+
+impl Extend<f64> for Distribution {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Distribution {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut d = Distribution::new();
+        d.extend(iter);
+        d
+    }
+}
+
+/// Linear-interpolated quantile of an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Box-plot statistics of a [`Distribution`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile (25th percentile, linear interpolation).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.4} | q1 {:.4} | med {:.4} | q3 {:.4} | max {:.4} | mean {:.4} (n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c += 4;
+        c.add(5);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_display_and_into() {
+        let mut c = Counter::new();
+        c.add(12);
+        assert_eq!(c.to_string(), "12");
+        assert_eq!(u64::from(c), 12);
+    }
+
+    #[test]
+    fn summary_of_single_sample() {
+        let d: Distribution = [0.9].into_iter().collect();
+        let s = d.summary();
+        assert_eq!(s.min, 0.9);
+        assert_eq!(s.q1, 0.9);
+        assert_eq!(s.median, 0.9);
+        assert_eq!(s.q3, 0.9);
+        assert_eq!(s.max, 0.9);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn summary_quartiles_match_hand_computation() {
+        // 1..=5 → q1 = 2, median = 3, q3 = 4 under linear interpolation.
+        let d: Distribution = (1..=5).map(f64::from).collect();
+        let s = d.summary();
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn summary_even_count_interpolates_median() {
+        let d: Distribution = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(d.summary().median, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty distribution")]
+    fn empty_summary_panics() {
+        let _ = Distribution::new().summary();
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        let mut d = Distribution::new();
+        d.record(f64::NAN);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let d: Distribution = [0.25, 0.5].into_iter().collect();
+        assert!(!d.summary().to_string().is_empty());
+    }
+
+    proptest! {
+        /// min <= q1 <= median <= q3 <= max, and the mean lies within
+        /// [min, max], for any non-empty sample set.
+        #[test]
+        fn summary_is_ordered(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let d: Distribution = samples.into_iter().collect();
+            let s = d.summary();
+            prop_assert!(s.min <= s.q1 + 1e-9);
+            prop_assert!(s.q1 <= s.median + 1e-9);
+            prop_assert!(s.median <= s.q3 + 1e-9);
+            prop_assert!(s.q3 <= s.max + 1e-9);
+            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        }
+
+        /// The summary is invariant under sample permutation.
+        #[test]
+        fn summary_permutation_invariant(
+            mut samples in proptest::collection::vec(-1e3f64..1e3, 2..50)
+        ) {
+            let d1: Distribution = samples.iter().copied().collect();
+            samples.reverse();
+            let d2: Distribution = samples.into_iter().collect();
+            prop_assert_eq!(d1.summary(), d2.summary());
+        }
+    }
+}

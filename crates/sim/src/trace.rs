@@ -1,0 +1,146 @@
+//! Lightweight event tracing.
+//!
+//! The simulator components can optionally emit [`TraceEvent`]s into a
+//! [`Trace`]. Tracing is disabled by default and costs a single branch when
+//! off, so it can stay compiled into hot loops. It is primarily a debugging
+//! aid for pipeline stalls and bank-conflict storms.
+
+use crate::cycle::Cycle;
+
+/// One traced simulator event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event occurred.
+    pub cycle: Cycle,
+    /// Component that emitted the event (e.g. `"streamer-A/ch3"`).
+    pub source: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// An event trace buffer.
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::{Cycle, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.enable();
+/// trace.emit(Cycle::new(4), "xbar", "conflict on bank 3");
+/// assert_eq!(trace.events().len(), 1);
+/// assert_eq!(trace.events()[0].cycle, Cycle::new(4));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    limit: Option<usize>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates a disabled trace that will keep at most `limit` events
+    /// (older events are retained; later ones dropped) to bound memory.
+    #[must_use]
+    pub fn with_limit(limit: usize) -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+            limit: Some(limit),
+        }
+    }
+
+    /// Enables event recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disables event recording (events already captured are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Returns `true` while recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled.
+    pub fn emit(&mut self, cycle: Cycle, source: &str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(limit) = self.limit {
+            if self.events.len() >= limit {
+                return;
+            }
+        }
+        self.events.push(TraceEvent {
+            cycle,
+            source: source.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    /// The captured events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all captured events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.emit(Cycle::ZERO, "x", "y");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::new();
+        t.enable();
+        assert!(t.is_enabled());
+        t.emit(Cycle::new(1), "agu", "wrap dim 2");
+        t.disable();
+        t.emit(Cycle::new(2), "agu", "ignored");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].source, "agu");
+    }
+
+    #[test]
+    fn limit_caps_events() {
+        let mut t = Trace::with_limit(2);
+        t.enable();
+        for i in 0..5 {
+            t.emit(Cycle::new(i), "s", "m");
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].cycle, Cycle::new(1));
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut t = Trace::new();
+        t.enable();
+        t.emit(Cycle::ZERO, "s", "m");
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

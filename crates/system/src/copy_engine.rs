@@ -1,0 +1,331 @@
+//! The DMA-style copy engine used for explicit pre-passes.
+//!
+//! When the built system lacks an on-the-fly feature (Transposer,
+//! Broadcaster, implicit im2col), the compiler emits a [`CopyPlan`] — a
+//! memory-to-memory transformation the host must run *before* compute,
+//! exactly like the standalone data-manipulation units the paper's
+//! introduction criticizes. The engine replays the plan cycle by cycle
+//! through the same banked memory and crossbar as the streamers, so its
+//! cycles and accesses (and the bank conflicts it suffers) are accounted
+//! honestly.
+//!
+//! The engine has `channels` read and `channels` write ports. Reads issue
+//! in plan order; a write may issue once every read it depends on has
+//! completed (a scoreboard, not a full barrier, so reads and writes
+//! overlap).
+
+use dm_mem::{Addr, AddressRemapper, MemOp, MemRequest, MemorySubsystem, RequesterId};
+use dm_compiler::{CopyPlan, WriteSource};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SystemError;
+
+/// Outcome of one copy-plan execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyStats {
+    /// Cycles the pass took.
+    pub cycles: u64,
+    /// Words read.
+    pub words_read: u64,
+    /// Words written.
+    pub words_written: u64,
+}
+
+/// The copy engine. Its crossbar requesters are registered at system build
+/// time (design-time port count, like everything else on the crossbar).
+#[derive(Debug)]
+pub struct CopyEngine {
+    read_ports: Vec<RequesterId>,
+    write_ports: Vec<RequesterId>,
+}
+
+impl CopyEngine {
+    /// Registers `channels` read and `channels` write requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn new(mem: &mut MemorySubsystem, channels: usize) -> Self {
+        assert!(channels > 0, "copy engine needs at least one channel");
+        CopyEngine {
+            read_ports: (0..channels)
+                .map(|i| mem.register_requester(format!("copy/rd{i}")))
+                .collect(),
+            write_ports: (0..channels)
+                .map(|i| mem.register_requester(format!("copy/wr{i}")))
+                .collect(),
+        }
+    }
+
+    /// Number of read (= write) channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.read_ports.len()
+    }
+
+    /// Executes one plan to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Deadlock`] if the pass exceeds its cycle
+    /// budget (a modelling bug) and [`SystemError::Mem`] on address
+    /// translation failures.
+    pub fn run(
+        &mut self,
+        mem: &mut MemorySubsystem,
+        plan: &CopyPlan,
+    ) -> Result<CopyStats, SystemError> {
+        let mem_cfg = *mem.scratchpad().config();
+        let read_remap = AddressRemapper::new(&mem_cfg, plan.read_mode)?;
+        let write_remap = AddressRemapper::new(&mem_cfg, plan.write_mode)?;
+        let word = mem_cfg.bank_width_bytes();
+
+        let mut read_data: Vec<Option<Vec<u8>>> = vec![None; plan.reads.len()];
+        // Per-channel pending request: Some(read index) awaiting grant.
+        let mut read_pending: Vec<Option<usize>> = vec![None; self.read_ports.len()];
+        let mut write_pending: Vec<Option<(u64, Vec<u8>)>> =
+            vec![None; self.write_ports.len()];
+        let mut next_read = 0usize;
+        let mut next_write = 0usize;
+        let mut writes_done = 0usize;
+        let mut cycles = 0u64;
+        let budget = (plan.reads.len() + plan.writes.len()) as u64 * 20 + 1_000;
+
+        while writes_done < plan.writes.len() || next_read < plan.reads.len() {
+            // Land responses.
+            for resp in mem.take_responses() {
+                read_data[resp.tag as usize] = Some(resp.data);
+            }
+            // Issue reads in order.
+            for (ch, port) in self.read_ports.iter().enumerate() {
+                if read_pending[ch].is_none() && next_read < plan.reads.len() {
+                    read_pending[ch] = Some(next_read);
+                    next_read += 1;
+                }
+                if let Some(idx) = read_pending[ch] {
+                    let loc = read_remap.map_byte(Addr::new(plan.reads[idx]))?;
+                    mem.submit(MemRequest {
+                        requester: *port,
+                        loc,
+                        tag: idx as u64,
+                        op: MemOp::Read,
+                    })?;
+                }
+            }
+            // Issue writes whose dependencies have landed.
+            for (ch, port) in self.write_ports.iter().enumerate() {
+                if write_pending[ch].is_none() && next_write < plan.writes.len() {
+                    let (addr, source) = &plan.writes[next_write];
+                    if let Some(data) = materialize(source, &read_data, word) {
+                        write_pending[ch] = Some((*addr, data));
+                        next_write += 1;
+                    }
+                }
+                if let Some((addr, data)) = &write_pending[ch] {
+                    let loc = write_remap.map_byte(Addr::new(*addr))?;
+                    mem.submit(MemRequest {
+                        requester: *port,
+                        loc,
+                        tag: 0,
+                        op: MemOp::Write {
+                            data: data.clone(),
+                            mask: None,
+                        },
+                    })?;
+                }
+            }
+            let grants = mem.arbitrate().to_vec();
+            for (ch, port) in self.read_ports.iter().enumerate() {
+                if read_pending[ch].is_some() && grants[port.index()] {
+                    read_pending[ch] = None;
+                }
+            }
+            for (ch, port) in self.write_ports.iter().enumerate() {
+                if write_pending[ch].is_some() && grants[port.index()] {
+                    write_pending[ch] = None;
+                    writes_done += 1;
+                }
+            }
+            cycles += 1;
+            if cycles > budget {
+                return Err(SystemError::Deadlock {
+                    phase: "copy-engine",
+                    cycles,
+                });
+            }
+        }
+        // Drain the last in-flight read responses (cheap, no extra cycles:
+        // they overlap with whatever runs next).
+        for resp in mem.take_responses() {
+            read_data[resp.tag as usize] = Some(resp.data);
+        }
+        Ok(CopyStats {
+            cycles,
+            words_read: plan.reads.len() as u64,
+            words_written: plan.writes.len() as u64,
+        })
+    }
+}
+
+/// Builds a write word from completed reads, or `None` if a dependency is
+/// still in flight.
+fn materialize(
+    source: &WriteSource,
+    read_data: &[Option<Vec<u8>>],
+    word: usize,
+) -> Option<Vec<u8>> {
+    match source {
+        WriteSource::Word(i) => read_data[*i].clone(),
+        WriteSource::Gather(offsets) => {
+            let mut out = Vec::with_capacity(offsets.len());
+            for &off in offsets {
+                let data = read_data[off / word].as_ref()?;
+                out.push(data[off % word]);
+            }
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_mem::{AddressingMode, MemConfig};
+
+    fn setup() -> (MemorySubsystem, CopyEngine) {
+        let mut mem = MemorySubsystem::new(MemConfig::new(8, 8, 128).unwrap());
+        let engine = CopyEngine::new(&mut mem, 4);
+        (mem, engine)
+    }
+
+    fn fima() -> AddressingMode {
+        AddressingMode::FullyInterleaved
+    }
+
+    #[test]
+    fn word_copy_moves_data() {
+        let (mut mem, mut engine) = setup();
+        let remap = AddressRemapper::new(mem.scratchpad().config(), fima()).unwrap();
+        let src: Vec<u8> = (0..32).collect();
+        mem.scratchpad_mut()
+            .host_write(&remap, Addr::ZERO, &src)
+            .unwrap();
+        let plan = CopyPlan {
+            name: "copy".into(),
+            read_mode: fima(),
+            write_mode: fima(),
+            reads: vec![0, 8, 16, 24],
+            writes: (0..4)
+                .map(|i| (1024 + i * 8, WriteSource::Word(i as usize)))
+                .collect(),
+        };
+        let stats = engine.run(&mut mem, &plan).unwrap();
+        assert_eq!(stats.words_read, 4);
+        assert_eq!(stats.words_written, 4);
+        assert!(stats.cycles >= 2, "read → write takes at least two cycles");
+        let out = mem
+            .scratchpad()
+            .host_read(&remap, Addr::new(1024), 32)
+            .unwrap();
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn gather_shuffles_bytes() {
+        let (mut mem, mut engine) = setup();
+        let remap = AddressRemapper::new(mem.scratchpad().config(), fima()).unwrap();
+        mem.scratchpad_mut()
+            .host_write(&remap, Addr::ZERO, &[0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17])
+            .unwrap();
+        // Interleave bytes of the two source words.
+        let gather: Vec<usize> = vec![0, 8, 1, 9, 2, 10, 3, 11];
+        let plan = CopyPlan {
+            name: "shuffle".into(),
+            read_mode: fima(),
+            write_mode: fima(),
+            reads: vec![0, 8],
+            writes: vec![(512, WriteSource::Gather(gather))],
+        };
+        engine.run(&mut mem, &plan).unwrap();
+        let out = mem.scratchpad().host_read(&remap, Addr::new(512), 8).unwrap();
+        assert_eq!(out, vec![0, 10, 1, 11, 2, 12, 3, 13]);
+    }
+
+    #[test]
+    fn replication_reads_once_writes_many() {
+        let (mut mem, mut engine) = setup();
+        let remap = AddressRemapper::new(mem.scratchpad().config(), fima()).unwrap();
+        mem.scratchpad_mut()
+            .host_write(&remap, Addr::ZERO, &[9; 8])
+            .unwrap();
+        let plan = CopyPlan {
+            name: "replicate".into(),
+            read_mode: fima(),
+            write_mode: fima(),
+            reads: vec![0],
+            writes: (0..16).map(|i| (256 + i * 8, WriteSource::Word(0))).collect(),
+        };
+        let stats = engine.run(&mut mem, &plan).unwrap();
+        assert_eq!(stats.words_read, 1);
+        assert_eq!(stats.words_written, 16);
+        let out = mem.scratchpad().host_read(&remap, Addr::new(256), 128).unwrap();
+        assert_eq!(out, vec![9; 128]);
+    }
+
+    #[test]
+    fn cross_view_copy_translates_addresses() {
+        let (mut mem, mut engine) = setup();
+        let nima = AddressingMode::NonInterleaved;
+        let remap_fima = AddressRemapper::new(mem.scratchpad().config(), fima()).unwrap();
+        let remap_nima = AddressRemapper::new(mem.scratchpad().config(), nima).unwrap();
+        mem.scratchpad_mut()
+            .host_write(&remap_fima, Addr::ZERO, &[5; 8])
+            .unwrap();
+        let plan = CopyPlan {
+            name: "cross".into(),
+            read_mode: fima(),
+            write_mode: nima,
+            reads: vec![0],
+            writes: vec![(2048, WriteSource::Word(0))],
+        };
+        engine.run(&mut mem, &plan).unwrap();
+        let out = mem
+            .scratchpad()
+            .host_read(&remap_nima, Addr::new(2048), 8)
+            .unwrap();
+        assert_eq!(out, vec![5; 8]);
+    }
+
+    #[test]
+    fn empty_plan_is_free() {
+        let (mut mem, mut engine) = setup();
+        let plan = CopyPlan {
+            name: "noop".into(),
+            read_mode: fima(),
+            write_mode: fima(),
+            reads: vec![],
+            writes: vec![],
+        };
+        let stats = engine.run(&mut mem, &plan).unwrap();
+        assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn conflicting_plan_still_completes() {
+        let (mut mem, mut engine) = setup();
+        // All reads and writes hammer bank 0 (NIMA view, one bank's rows).
+        let nima = AddressingMode::NonInterleaved;
+        let plan = CopyPlan {
+            name: "conflict".into(),
+            read_mode: nima,
+            write_mode: nima,
+            reads: (0..8u64).map(|i| i * 8).collect(),
+            writes: (0..8).map(|i| (256 + i * 8, WriteSource::Word(i as usize))).collect(),
+        };
+        let stats = engine.run(&mut mem, &plan).unwrap();
+        // 16 single-bank operations need at least 16 cycles.
+        assert!(stats.cycles >= 16, "took {} cycles", stats.cycles);
+        assert!(mem.stats().conflicts.get() > 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The full evaluation system (Fig. 6): five DataMaestros, the GeMM and
+//! quantization accelerators, and the banked scratchpad, ticked cycle by
+//! cycle.
+
+use datamaestro::{ReadStreamer, StreamerStats, WriteStreamer};
+use dm_accel::{GemmArrayConfig, GemmDatapath, Quantizer};
+use dm_compiler::{compile, BufferDepths, CompiledWorkload, FeatureSet};
+use dm_mem::{Addr, AddressRemapper, MemConfig, MemorySubsystem};
+use dm_workloads::{Workload, WorkloadData};
+use serde::{Deserialize, Serialize};
+
+use crate::copy_engine::CopyEngine;
+use crate::error::SystemError;
+
+/// Configuration of the evaluation system build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Scratchpad geometry.
+    pub mem: MemConfig,
+    /// GeMM array unrolling (the compiler targets 8×8×8).
+    pub array: GemmArrayConfig,
+    /// Which DataMaestro features are built in.
+    pub features: FeatureSet,
+    /// Streamer buffer depths.
+    pub depths: BufferDepths,
+    /// Route results through the quantization accelerator (E stream, int8)
+    /// instead of the raw D stream (int32).
+    pub quantized: bool,
+    /// Verify the output region against the golden reference after the run.
+    pub check_output: bool,
+    /// Scratchpad bank read latency in cycles (≥ 1). The DAE architecture's
+    /// whole point is tolerating this; see the latency sweep bench.
+    pub read_latency: u64,
+}
+
+impl Default for SystemConfig {
+    /// The paper's evaluation system: 32 banks × 64 bit, 8×8×8 array, all
+    /// features, quantized output, with golden checking enabled.
+    fn default() -> Self {
+        SystemConfig {
+            mem: MemConfig::default(),
+            array: GemmArrayConfig::paper(),
+            features: FeatureSet::full(),
+            depths: BufferDepths::default(),
+            quantized: true,
+            check_output: true,
+            read_latency: 1,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Same system with a different feature set (ablation helper).
+    #[must_use]
+    pub fn with_features(mut self, features: FeatureSet) -> Self {
+        self.features = features;
+        self
+    }
+}
+
+/// Why the accelerator could not fire on a given cycle.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// A operand not ready.
+    pub a: u64,
+    /// B operand not ready (A was).
+    pub b: u64,
+    /// C operand not ready (A and B were).
+    pub c: u64,
+    /// Output port back-pressured (everything else ready).
+    pub out: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.a + self.b + self.c + self.out
+    }
+}
+
+/// The outcome of one workload execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The workload that ran.
+    pub workload: Workload,
+    /// Feature set of the system that ran it.
+    pub features: FeatureSet,
+    /// Stall-free cycle count (the utilization denominator's numerator).
+    pub ideal_cycles: u64,
+    /// Cycles spent in explicit pre-passes.
+    pub prepass_cycles: u64,
+    /// Cycles of the compute phase (including pipeline fill and drain).
+    pub compute_cycles: u64,
+    /// Cycles the PE array actually fired.
+    pub active_cycles: u64,
+    /// Why it did not fire on the other cycles.
+    pub stalls: StallBreakdown,
+    /// Granted word reads.
+    pub mem_reads: u64,
+    /// Granted word writes.
+    pub mem_writes: u64,
+    /// Bank-conflict events.
+    pub conflicts: u64,
+    /// Per-streamer statistics: A, B, C, OUT.
+    pub streamer_stats: [StreamerStats; 4],
+    /// Granted word accesses per physical bank (load-balance heatmap).
+    pub per_bank_accesses: Vec<u64>,
+    /// Whether the output was verified against the golden reference.
+    pub checked: bool,
+}
+
+impl RunReport {
+    /// Total cycles: pre-passes plus compute.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.prepass_cycles + self.compute_cycles
+    }
+
+    /// The paper's utilization metric: theoretical stall-free computation
+    /// cycles over the active cycles of the run.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.ideal_cycles as f64 / self.total_cycles() as f64
+    }
+
+    /// Total memory word accesses (the paper's data access count).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.mem_reads + self.mem_writes
+    }
+}
+
+/// Compiles and runs one workload on the configured system.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] on compilation failure, configuration rejection,
+/// simulation deadlock (a bug) or golden-output mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use dm_system::{run_workload, SystemConfig};
+/// use dm_workloads::{GemmSpec, WorkloadData};
+///
+/// let data = WorkloadData::generate(GemmSpec::new(16, 16, 16).into(), 1);
+/// let report = run_workload(&SystemConfig::default(), &data)?;
+/// assert!(report.checked);
+/// assert!(report.utilization() > 0.5);
+/// # Ok::<(), dm_system::SystemError>(())
+/// ```
+pub fn run_workload(config: &SystemConfig, data: &WorkloadData) -> Result<RunReport, SystemError> {
+    let program = compile(
+        data,
+        &config.features,
+        &config.mem,
+        config.quantized,
+        config.depths,
+    )?;
+    run_compiled(config, data, &program)
+}
+
+/// Runs an already compiled workload.
+///
+/// # Errors
+///
+/// See [`run_workload`].
+pub fn run_compiled(
+    config: &SystemConfig,
+    data: &WorkloadData,
+    program: &CompiledWorkload,
+) -> Result<RunReport, SystemError> {
+    assert_eq!(
+        (config.array.m_unroll, config.array.n_unroll, config.array.k_unroll),
+        (8, 8, 8),
+        "the compiler targets the paper's 8x8x8 array"
+    );
+    let mut mem = MemorySubsystem::new(config.mem);
+    mem.set_read_latency(config.read_latency.max(1));
+    let mut copier = CopyEngine::new(&mut mem, 4);
+    let mut a = ReadStreamer::new(&program.a.design, &program.a.runtime, &mut mem)?;
+    let mut b = ReadStreamer::new(&program.b.design, &program.b.runtime, &mut mem)?;
+    let mut c = ReadStreamer::new(&program.c.design, &program.c.runtime, &mut mem)?;
+    let mut out = WriteStreamer::new(&program.out.design, &program.out.runtime, &mut mem)?;
+
+    // Response routing table: requester index → consuming reader.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Route {
+        None,
+        A,
+        B,
+        C,
+    }
+    let mut routes = vec![Route::None; mem.num_requesters()];
+    for id in a.channel_requesters() {
+        routes[id.index()] = Route::A;
+    }
+    for id in b.channel_requesters() {
+        routes[id.index()] = Route::B;
+    }
+    for id in c.channel_requesters() {
+        routes[id.index()] = Route::C;
+    }
+
+    // Host preload (not simulated; the paper's utilization metric covers
+    // DataMaestro-active cycles only).
+    for image in &program.images {
+        let remap = AddressRemapper::new(&config.mem, image.region.mode)?;
+        mem.scratchpad_mut()
+            .host_write(&remap, Addr::new(image.region.base), &image.bytes)?;
+    }
+
+    // Explicit pre-passes.
+    let mut prepass_cycles = 0u64;
+    for plan in &program.prepasses {
+        let stats = copier.run(&mut mem, plan)?;
+        prepass_cycles += stats.cycles;
+    }
+
+    // Compute phase.
+    let mut datapath = GemmDatapath::new(config.array, program.k_steps);
+    let mut quant = Quantizer::uniform(
+        config.array.m_unroll,
+        config.array.n_unroll,
+        program.rescale,
+    );
+    let mut stalls = StallBreakdown::default();
+    let mut compute_cycles = 0u64;
+    let mut active_cycles = 0u64;
+    let mut tiles_done = 0u64;
+    let budget = program.total_steps() * 64 + 100_000;
+
+    while !(a.is_done() && b.is_done() && c.is_done() && out.is_done()) {
+        a.begin_cycle();
+        b.begin_cycle();
+        c.begin_cycle();
+        for resp in mem.take_responses() {
+            match routes[resp.requester.index()] {
+                Route::A => a.accept_response(resp),
+                Route::B => b.accept_response(resp),
+                Route::C => c.accept_response(resp),
+                Route::None => unreachable!("response for a write/copy port"),
+            }
+        }
+        // The accelerator handshake: fire when all operand ports are valid
+        // and the output port is ready (on tile-completing steps).
+        let needs_c = datapath.needs_c();
+        let produces = datapath.produces_d();
+        let fire = if !a.can_pop_wide() {
+            stalls.a += 1;
+            false
+        } else if !b.can_pop_wide() {
+            stalls.b += 1;
+            false
+        } else if needs_c && !c.can_pop_wide() {
+            stalls.c += 1;
+            false
+        } else if produces && !out.can_push_wide() {
+            stalls.out += 1;
+            false
+        } else {
+            true
+        };
+        if fire {
+            let a_word = a.pop_wide();
+            let b_word = b.pop_wide();
+            let c_word = needs_c.then(|| c.pop_wide());
+            if let Some(d_tile) = datapath.step(&a_word, &b_word, c_word.as_deref()) {
+                let out_word = if config.quantized {
+                    quant.process(&d_tile)
+                } else {
+                    d_tile
+                };
+                out.push_wide(&out_word);
+                tiles_done += 1;
+            }
+            active_cycles += 1;
+        }
+        a.generate_and_issue(&mut mem);
+        b.generate_and_issue(&mut mem);
+        c.generate_and_issue(&mut mem);
+        out.generate_and_issue(&mut mem);
+        let grants = mem.arbitrate().to_vec();
+        a.handle_grants(&grants);
+        b.handle_grants(&grants);
+        c.handle_grants(&grants);
+        out.handle_grants(&grants);
+        compute_cycles += 1;
+        if compute_cycles > budget {
+            return Err(SystemError::Deadlock {
+                phase: "compute",
+                cycles: compute_cycles,
+            });
+        }
+    }
+    debug_assert_eq!(tiles_done, program.total_output_tiles);
+    debug_assert_eq!(active_cycles, program.total_steps());
+
+    // Golden verification.
+    let mut checked = false;
+    if config.check_output {
+        if program.output_slices.is_empty() {
+            let remap = AddressRemapper::new(&config.mem, program.output_region.mode)?;
+            let got = mem.scratchpad().host_read(
+                &remap,
+                Addr::new(program.output_region.base),
+                program.output_region.len as usize,
+            )?;
+            let expected = program.expected_output_image(data);
+            if let Some(first_diff) = got.iter().zip(&expected).position(|(g, e)| g != e) {
+                return Err(SystemError::OutputMismatch {
+                    first_diff,
+                    expected: expected[first_diff],
+                    got: got[first_diff],
+                });
+            }
+        } else {
+            // Private-bank placement: verify each per-channel slice.
+            let expected_slices = program.expected_output_slice_images(data);
+            for (region, expected) in program.output_slices.iter().zip(&expected_slices) {
+                let remap = AddressRemapper::new(&config.mem, region.mode)?;
+                let got = mem.scratchpad().host_read(
+                    &remap,
+                    Addr::new(region.base),
+                    region.len as usize,
+                )?;
+                if let Some(first_diff) =
+                    got.iter().zip(expected).position(|(g, e)| g != e)
+                {
+                    return Err(SystemError::OutputMismatch {
+                        first_diff,
+                        expected: expected[first_diff],
+                        got: got[first_diff],
+                    });
+                }
+            }
+        }
+        checked = true;
+    }
+
+    let stats = mem.stats();
+    Ok(RunReport {
+        workload: program.workload,
+        features: program.features,
+        ideal_cycles: program.total_steps(),
+        prepass_cycles,
+        compute_cycles,
+        active_cycles,
+        stalls,
+        mem_reads: stats.reads.get(),
+        mem_writes: stats.writes.get(),
+        conflicts: stats.conflicts.get(),
+        streamer_stats: [*a.stats(), *b.stats(), *c.stats(), *out.stats()],
+        per_bank_accesses: mem.per_bank_accesses().to_vec(),
+        checked,
+    })
+}

@@ -1,0 +1,158 @@
+//! Deterministic operand generation and golden outputs per workload.
+
+use dm_accel::reference::{conv2d_ref, gemm_bias_ref, quantize_ref};
+use dm_accel::RescaleParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::Workload;
+
+/// Concrete operand data for one workload, generated deterministically from
+/// a seed, plus golden expected outputs.
+///
+/// For GeMM workloads `a` is the `m×k` row-major A matrix and `b` the `k×n`
+/// B matrix; for convolutions `a` is the `h×w×c_in` channels-last input and
+/// `b` the `c_out×kh×kw×c_in` weights. `bias` has one int32 per output
+/// column / channel, and `rescale` is the uniform quantization parameter.
+///
+/// # Examples
+///
+/// ```
+/// use dm_workloads::{GemmSpec, WorkloadData};
+///
+/// let data = WorkloadData::generate(GemmSpec::new(8, 8, 8).into(), 42);
+/// assert_eq!(data.a.len(), 64);
+/// assert_eq!(data.expected_d().len(), 64);
+/// let again = WorkloadData::generate(GemmSpec::new(8, 8, 8).into(), 42);
+/// assert_eq!(data.a, again.a, "generation is deterministic");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadData {
+    /// The workload these operands belong to.
+    pub workload: Workload,
+    /// A operand (GeMM A matrix or convolution input).
+    pub a: Vec<i8>,
+    /// B operand (GeMM B matrix or convolution weights).
+    pub b: Vec<i8>,
+    /// Per-output-column (GeMM) or per-output-channel (conv) bias.
+    pub bias: Vec<i32>,
+    /// Uniform quantization rescale parameter.
+    pub rescale: RescaleParams,
+}
+
+impl WorkloadData {
+    /// Generates operands for a workload from a seed.
+    #[must_use]
+    pub fn generate(workload: Workload, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a_len, b_len, bias_len, k_depth) = match workload {
+            Workload::Gemm(g) => (g.m * g.k, g.k * g.n, g.n, g.k),
+            Workload::Conv(c) => (
+                c.h * c.w * c.c_in,
+                c.c_out * c.kh * c.kw * c.c_in,
+                c.c_out,
+                c.c_in * c.kh * c.kw,
+            ),
+        };
+        let a: Vec<i8> = (0..a_len).map(|_| rng.gen_range(-16..=16)).collect();
+        let b: Vec<i8> = (0..b_len).map(|_| rng.gen_range(-16..=16)).collect();
+        let bias: Vec<i32> = (0..bias_len).map(|_| rng.gen_range(-100..=100)).collect();
+        // Shift sized so typical accumulators land inside int8 without
+        // saturating everything: |acc| ~ k_depth · 16²/3.
+        let shift = (64 - (k_depth as u64).leading_zeros()) + 3;
+        let rescale = RescaleParams {
+            multiplier: 1,
+            shift,
+        };
+        WorkloadData {
+            workload,
+            a,
+            b,
+            bias,
+            rescale,
+        }
+    }
+
+    /// Golden int32 output: `m×n` row-major for GeMM, `oh×ow×c_out`
+    /// channels-last for convolutions.
+    #[must_use]
+    pub fn expected_d(&self) -> Vec<i32> {
+        match self.workload {
+            Workload::Gemm(g) => gemm_bias_ref(&self.a, &self.b, &self.bias, g.m, g.n, g.k),
+            Workload::Conv(c) => conv2d_ref(
+                &self.a, &self.b, &self.bias, c.h, c.w, c.c_in, c.c_out, c.kh, c.kw, c.stride,
+            ),
+        }
+    }
+
+    /// Golden quantized int8 output (same shape conventions as
+    /// [`expected_d`](Self::expected_d)).
+    #[must_use]
+    pub fn expected_e(&self) -> Vec<i8> {
+        let d = self.expected_d();
+        match self.workload {
+            Workload::Gemm(g) => {
+                quantize_ref(&d, &vec![self.rescale; g.n], g.m, g.n)
+            }
+            Workload::Conv(c) => quantize_ref(
+                &d,
+                &vec![self.rescale; c.c_out],
+                c.oh() * c.ow(),
+                c.c_out,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConvSpec, GemmSpec};
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let w: Workload = GemmSpec::new(16, 16, 16).into();
+        let d1 = WorkloadData::generate(w, 1);
+        let d2 = WorkloadData::generate(w, 1);
+        let d3 = WorkloadData::generate(w, 2);
+        assert_eq!(d1, d2);
+        assert_ne!(d1.a, d3.a);
+    }
+
+    #[test]
+    fn gemm_shapes() {
+        let d = WorkloadData::generate(GemmSpec::new(16, 24, 8).into(), 0);
+        assert_eq!(d.a.len(), 16 * 8);
+        assert_eq!(d.b.len(), 8 * 24);
+        assert_eq!(d.bias.len(), 24);
+        assert_eq!(d.expected_d().len(), 16 * 24);
+        assert_eq!(d.expected_e().len(), 16 * 24);
+    }
+
+    #[test]
+    fn conv_shapes() {
+        let c = ConvSpec::new(10, 10, 8, 16, 3, 3, 1);
+        let d = WorkloadData::generate(c.into(), 7);
+        assert_eq!(d.a.len(), 10 * 10 * 8);
+        assert_eq!(d.b.len(), 16 * 9 * 8);
+        assert_eq!(d.bias.len(), 16);
+        assert_eq!(d.expected_d().len(), 8 * 8 * 16);
+    }
+
+    #[test]
+    fn rescale_keeps_outputs_unsaturated_typically() {
+        let d = WorkloadData::generate(GemmSpec::new(16, 16, 64).into(), 3);
+        let e = d.expected_e();
+        let saturated = e
+            .iter()
+            .filter(|&&v| v == i8::MIN || v == i8::MAX)
+            .count();
+        assert!(
+            saturated < e.len() / 4,
+            "{saturated}/{} outputs saturated",
+            e.len()
+        );
+        // …and not all zero either (the shift is not absurdly large).
+        assert!(e.iter().any(|&v| v != 0));
+    }
+}

@@ -1,0 +1,27 @@
+//! Workloads for the DataMaestro evaluation.
+//!
+//! This crate describes *what* the accelerator system computes:
+//!
+//! * [`spec`] — workload descriptions: [`GemmSpec`] (plain and transposed)
+//!   and [`ConvSpec`], with MAC counts and ideal (stall-free) cycle counts
+//!   for the 8×8×8 array;
+//! * [`layout`] — the blocked tensor data layouts of Fig. 3 (block-row-major
+//!   GeMM operands, `C/8·H·W·c8` convolution activations) as byte-exact
+//!   pack/unpack transforms;
+//! * [`data`] — deterministic operand generation so every run is
+//!   reproducible and checkable against golden references;
+//! * [`synthetic`] — the 260-workload ablation suite of §IV-B (100 GeMM +
+//!   60 transposed GeMM + 100 convolutions spanning the paper's axes);
+//! * [`models`] — per-layer tables for ResNet-18, VGG-16, ViT-Base-16 and
+//!   BERT-Base used by the Table III reproduction.
+
+pub mod data;
+pub mod layout;
+pub mod models;
+pub mod spec;
+pub mod synthetic;
+
+pub use data::WorkloadData;
+pub use models::{bert_base, resnet18, table3_models, vgg16, vit_base_16, Layer, Model};
+pub use spec::{ConvSpec, GemmSpec, PoolSpec, Workload, WorkloadGroup};
+pub use synthetic::synthetic_suite;

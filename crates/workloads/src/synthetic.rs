@@ -1,0 +1,139 @@
+//! The synthetic ablation suite of §IV-B: 260 workloads in three groups.
+//!
+//! The paper describes the suite by its axes — "various matrix sizes for
+//! GeMM and transposed GeMM, along with diverse feature map sizes,
+//! channels, kernel sizes, and strides for convolution, effectively
+//! representing typical Transformer and CNN layers". This generator spans
+//! the same axes deterministically: 100 GeMM + 60 transposed GeMM + 100
+//! convolution workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{ConvSpec, GemmSpec, Workload};
+
+/// Number of plain GeMM workloads in the suite.
+pub const NUM_GEMM: usize = 100;
+/// Number of transposed-GeMM workloads in the suite.
+pub const NUM_TRANSPOSED: usize = 60;
+/// Number of convolution workloads in the suite.
+pub const NUM_CONV: usize = 100;
+
+/// Generates the 260-workload synthetic suite.
+///
+/// Deterministic: the same suite is produced on every call.
+///
+/// # Examples
+///
+/// ```
+/// use dm_workloads::{synthetic_suite, WorkloadGroup};
+///
+/// let suite = synthetic_suite();
+/// assert_eq!(suite.len(), 260);
+/// let convs = suite
+///     .iter()
+///     .filter(|w| w.group() == WorkloadGroup::Conv)
+///     .count();
+/// assert_eq!(convs, 100);
+/// ```
+#[must_use]
+pub fn synthetic_suite() -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_3457);
+    let mut suite = Vec::with_capacity(NUM_GEMM + NUM_TRANSPOSED + NUM_CONV);
+
+    // GeMM sizes typical of Transformer projections and attention blocks:
+    // tile-aligned dimensions from 16 to 192.
+    let dim_choices = [16usize, 24, 32, 48, 64, 96, 128, 160, 192];
+    for _ in 0..NUM_GEMM {
+        let m = dim_choices[rng.gen_range(0..dim_choices.len())];
+        let n = dim_choices[rng.gen_range(0..dim_choices.len())];
+        let k = dim_choices[rng.gen_range(0..dim_choices.len())];
+        suite.push(GemmSpec::new(m, n, k).into());
+    }
+    for _ in 0..NUM_TRANSPOSED {
+        let m = dim_choices[rng.gen_range(0..dim_choices.len())];
+        let n = dim_choices[rng.gen_range(0..dim_choices.len())];
+        let k = dim_choices[rng.gen_range(0..dim_choices.len())];
+        suite.push(GemmSpec::transposed(m, n, k).into());
+    }
+
+    // Convolutions typical of CNN bodies: output planes from 8×8 to 32×32,
+    // channels 8–64, kernels 1/3/5/7, stride 1 dominant with a strided
+    // minority (the paper notes strided layers are a small portion of
+    // real workloads).
+    let chan_choices = [8usize, 16, 32, 64];
+    let kernel_choices = [1usize, 3, 3, 3, 5, 7];
+    // Downsampling layers in real CNNs are either strided 3×3 body convs or
+    // strided 1×1 projection shortcuts (ResNet-style), so the strided
+    // minority weights 1×1 kernels heavily.
+    let strided_kernel_choices = [1usize, 1, 3, 3, 5];
+    for i in 0..NUM_CONV {
+        let c_in = chan_choices[rng.gen_range(0..chan_choices.len())];
+        let c_out = chan_choices[rng.gen_range(0..chan_choices.len())];
+        // Every fourth convolution is strided (downsampling layer).
+        let stride = if i % 4 == 3 { 2 } else { 1 };
+        let k = if stride > 1 {
+            strided_kernel_choices[rng.gen_range(0..strided_kernel_choices.len())]
+        } else {
+            kernel_choices[rng.gen_range(0..kernel_choices.len())]
+        };
+        let out_plane = [8usize, 16, 24, 32][rng.gen_range(0..4)];
+        // The smallest padded input producing exactly `out_plane`, rounded
+        // up to even like real (padded) feature maps; the flooring output
+        // formula keeps the plane size unchanged.
+        let mut input = (out_plane - 1) * stride + k;
+        if input % 2 == 1 {
+            input += 1;
+        }
+        suite.push(ConvSpec::new(input, input, c_in, c_out, k, k, stride).into());
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadGroup;
+
+    #[test]
+    fn suite_has_260_workloads_in_three_groups() {
+        let suite = synthetic_suite();
+        assert_eq!(suite.len(), 260);
+        let count = |g: WorkloadGroup| suite.iter().filter(|w| w.group() == g).count();
+        assert_eq!(count(WorkloadGroup::Gemm), NUM_GEMM);
+        assert_eq!(count(WorkloadGroup::TransposedGemm), NUM_TRANSPOSED);
+        assert_eq!(count(WorkloadGroup::Conv), NUM_CONV);
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        assert_eq!(synthetic_suite(), synthetic_suite());
+    }
+
+    #[test]
+    fn suite_contains_strided_convolutions() {
+        let suite = synthetic_suite();
+        let strided = suite
+            .iter()
+            .filter(|w| matches!(w, Workload::Conv(c) if c.stride > 1))
+            .count();
+        assert!(strided >= 20, "got {strided} strided convolutions");
+        assert!(strided <= 30);
+    }
+
+    #[test]
+    fn suite_spans_diverse_shapes() {
+        let suite = synthetic_suite();
+        let distinct: std::collections::HashSet<String> =
+            suite.iter().map(ToString::to_string).collect();
+        assert!(distinct.len() > 150, "only {} distinct shapes", distinct.len());
+    }
+
+    #[test]
+    fn all_workloads_have_valid_ideal_cycles() {
+        for w in synthetic_suite() {
+            assert!(w.ideal_cycles() > 0, "{w}");
+            assert_eq!(w.macs(), w.ideal_cycles() * 512, "{w}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Transformer scenario: run one BERT-Base encoder layer's GeMMs (QKV
+//! projection, per-head attention, output projection, FFN) and aggregate
+//! the layer's GeMM-core utilization — the per-layer version of the
+//! Table III measurement.
+//!
+//! ```text
+//! cargo run --release --example transformer_layer
+//! ```
+
+use datamaestro_repro::system::{run_workload, SystemConfig};
+use datamaestro_repro::workloads::{GemmSpec, WorkloadData};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (seq, hidden, head_dim, heads, ffn) = (128, 768, 64, 12u64, 3072);
+    let sublayers: [(&str, GemmSpec, u64); 6] = [
+        ("QKV projection", GemmSpec::new(seq, 3 * hidden, hidden), 1),
+        ("attention scores", GemmSpec::new(seq, seq, head_dim), heads),
+        ("attention context", GemmSpec::new(seq, head_dim, seq), heads),
+        ("output projection", GemmSpec::new(seq, hidden, hidden), 1),
+        ("FFN up", GemmSpec::new(seq, ffn, hidden), 1),
+        ("FFN down", GemmSpec::new(seq, hidden, ffn), 1),
+    ];
+    let config = SystemConfig {
+        check_output: false, // large GeMMs; correctness is covered by tests
+        ..SystemConfig::default()
+    };
+    let mut ideal = 0u64;
+    let mut total = 0u64;
+    println!(
+        "{:<20} {:>8} {:>12} {:>8}",
+        "sub-layer", "runs", "cycles/run", "util"
+    );
+    for (name, spec, repeat) in sublayers {
+        let data = WorkloadData::generate(spec.into(), 11);
+        let report = run_workload(&config, &data)?;
+        ideal += report.ideal_cycles * repeat;
+        total += report.total_cycles() * repeat;
+        println!(
+            "{:<20} {:>8} {:>12} {:>7.2}%",
+            name,
+            repeat,
+            report.total_cycles(),
+            100.0 * report.utilization()
+        );
+    }
+    println!(
+        "\nencoder layer utilization: {:.2}%  (BERT-Base in Table III: 97.85%)",
+        100.0 * ideal as f64 / total as f64
+    );
+    println!(
+        "Small per-head attention GeMMs pay relatively more pipeline fill, \
+         \nwhich is why the transformer lands just below 100%."
+    );
+    Ok(())
+}
