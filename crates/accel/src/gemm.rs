@@ -282,7 +282,11 @@ mod tests {
         dp.reconfigure(1);
         assert!(dp.needs_c());
         let d = dp
-            .step(&encode_i8(&[0; 4]), &encode_i8(&[0; 4]), Some(&encode_i32(&[5; 4])))
+            .step(
+                &encode_i8(&[0; 4]),
+                &encode_i8(&[0; 4]),
+                Some(&encode_i32(&[5; 4])),
+            )
             .unwrap();
         assert_eq!(decode_i32(&d), vec![5; 4]);
     }

@@ -147,7 +147,12 @@ mod tests {
         assert_eq!(dm.on_the_fly, FeatureSupport::Yes);
         // No other system has fine-grained prefetch or mode switching.
         for row in rows.iter().filter(|r| r.system != "DataMaestro") {
-            assert_eq!(row.fine_grained_prefetch, FeatureSupport::No, "{}", row.system);
+            assert_eq!(
+                row.fine_grained_prefetch,
+                FeatureSupport::No,
+                "{}",
+                row.system
+            );
             assert_eq!(row.mode_switching, FeatureSupport::No, "{}", row.system);
         }
     }

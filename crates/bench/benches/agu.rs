@@ -12,20 +12,16 @@ fn bench_temporal(c: &mut Criterion) {
         let bounds: Vec<u64> = (0..dims).map(|d| if d < 2 { 16 } else { 4 }).collect();
         let strides: Vec<i64> = (0..dims).map(|d| 8 << d).collect();
         let total: u64 = bounds.iter().product();
-        group.bench_with_input(
-            BenchmarkId::new("dual-counter", dims),
-            &dims,
-            |b, _| {
-                b.iter(|| {
-                    let mut agu = TemporalAgu::new(0, &bounds, &strides);
-                    let mut acc = 0u64;
-                    while let Some(a) = agu.next_address() {
-                        acc = acc.wrapping_add(a);
-                    }
-                    black_box(acc)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("dual-counter", dims), &dims, |b, _| {
+            b.iter(|| {
+                let mut agu = TemporalAgu::new(0, &bounds, &strides);
+                let mut acc = 0u64;
+                while let Some(a) = agu.next_address() {
+                    acc = acc.wrapping_add(a);
+                }
+                black_box(acc)
+            });
+        });
         group.bench_with_input(BenchmarkId::new("naive", dims), &dims, |b, _| {
             b.iter(|| {
                 let addrs = naive_temporal_addresses(0, &bounds, &strides);

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dm_mem::{
-    AddressRemapper, AddressingMode, BankLocation, MemConfig, MemOp, MemRequest,
-    MemorySubsystem,
+    AddressRemapper, AddressingMode, BankLocation, MemConfig, MemOp, MemRequest, MemorySubsystem,
 };
 use std::hint::black_box;
 
@@ -13,7 +12,10 @@ fn bench_remapper(c: &mut Criterion) {
     let mut group = c.benchmark_group("remapper");
     for (name, mode) in [
         ("fima", AddressingMode::FullyInterleaved),
-        ("gima8", AddressingMode::GroupedInterleaved { group_banks: 8 }),
+        (
+            "gima8",
+            AddressingMode::GroupedInterleaved { group_banks: 8 },
+        ),
         ("nima", AddressingMode::NonInterleaved),
     ] {
         let remap = AddressRemapper::new(&cfg, mode).unwrap();

@@ -27,8 +27,8 @@ fn main() {
     let mut min_gain = f64::MAX;
     let mut max_gain = 0.0f64;
     for (i, (name, workload)) in kernels.iter().enumerate() {
-        let report = dm_bench::measure(&cfg, *workload, i as u64)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report =
+            dm_bench::measure(&cfg, *workload, i as u64).unwrap_or_else(|e| panic!("{name}: {e}"));
         let ours = normalized_throughput_tops(report.utilization());
         let mut row = format!("{name:<22} {ours:>9.3}");
         let mut kernel_min = f64::MAX;

@@ -7,26 +7,24 @@
 //! * Fig. 7(b): data access counts per configuration, normalized to the
 //!   baseline ①, per kernel group.
 //!
-//! Pass `--quick` to run on every 5th workload for a fast smoke pass.
+//! Pass `--quick` to run on every 5th workload for a fast smoke pass,
+//! `--metrics-out <path>` to dump one JSONL metrics snapshot per run, and
+//! `--trace-out <path>` to capture a Perfetto trace of the first
+//! fully-featured (step ⑥) run.
 
 use std::collections::BTreeMap;
 
 use dm_compiler::FeatureSet;
-use dm_sim::Distribution;
+use dm_sim::{Distribution, Port, StallAttribution, StallCause, TraceMode};
 use dm_system::SystemConfig;
 use dm_workloads::{synthetic_suite, WorkloadGroup};
 
 fn main() {
-    let mut quick = false;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            other => {
-                eprintln!("unknown option: {other} (supported: --quick)");
-                std::process::exit(2);
-            }
-        }
-    }
+    let args = dm_bench::parse_args();
+    let quick = args.quick;
+    let mut metrics_log = dm_bench::MetricsLog::create(args.metrics_out.as_deref())
+        .unwrap_or_else(|e| panic!("opening metrics log: {e}"));
+    let mut trace_pending = args.trace_out.as_deref();
     let suite: Vec<_> = synthetic_suite()
         .into_iter()
         .enumerate()
@@ -47,16 +45,32 @@ fn main() {
     // utilization distributions per (group, step) and access ratios.
     let mut utils: BTreeMap<(WorkloadGroup, usize), Distribution> = BTreeMap::new();
     let mut access_ratio: BTreeMap<(WorkloadGroup, usize), Distribution> = BTreeMap::new();
+    let mut attribution: BTreeMap<usize, StallAttribution> = BTreeMap::new();
 
     for (idx, workload) in suite.iter().enumerate() {
         let mut baseline_accesses = 0u64;
         for step in 1..=6 {
-            let cfg = SystemConfig::default().with_features(FeatureSet::ablation_step(step));
+            let mut cfg = SystemConfig::default().with_features(FeatureSet::ablation_step(step));
+            // Capture the requested Perfetto trace on the first
+            // fully-featured run (tracing never changes the measurement).
+            let traced = trace_pending.is_some() && step == 6;
+            if traced {
+                cfg.trace = TraceMode::Full;
+            }
             let report = dm_bench::measure(&cfg, *workload, idx as u64)
                 .unwrap_or_else(|e| panic!("step {step} on {workload}: {e}"));
             if step == 1 {
                 baseline_accesses = report.accesses();
             }
+            if let Some(path) = trace_pending.filter(|_| traced) {
+                dm_bench::write_trace(path, &report.traces)
+                    .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+                eprintln!("  wrote Perfetto trace of '{workload}' (step 6) to {path}");
+                trace_pending = None;
+            }
+            metrics_log
+                .record(&format!("{workload}|step{step}"), &report)
+                .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
             utils
                 .entry((workload.group(), step))
                 .or_default()
@@ -65,11 +79,18 @@ fn main() {
                 .entry((workload.group(), step))
                 .or_default()
                 .record(report.accesses() as f64 / baseline_accesses as f64);
+            attribution
+                .entry(step)
+                .or_default()
+                .merge(&report.attribution);
         }
         if (idx + 1) % 20 == 0 {
             eprintln!("  …{}/{} workloads", idx + 1, suite.len());
         }
     }
+    metrics_log
+        .finish()
+        .unwrap_or_else(|e| panic!("flushing metrics log: {e}"));
 
     println!("\nFig. 7(a): utilization distribution per group and configuration");
     println!("(1=baseline 2=+prefetch 3=+transposer 4=+broadcaster 5=+im2col 6=+mode-switching)");
@@ -108,6 +129,32 @@ fn main() {
         println!();
     }
 
+    println!("\nStall attribution per configuration (share of compute cycles, all groups)");
+    println!(
+        "  {:<6} {:>7} {:>11} {:>14} {:>10} {:>7}",
+        "step", "fired", "no-operand", "bank-conflict", "writeback", "drain"
+    );
+    for step in 1..=6 {
+        let at = &attribution[&step];
+        let total = at.total_cycles() as f64;
+        let sum_for = |f: &dyn Fn(Port) -> StallCause| -> u64 {
+            [Port::A, Port::B, Port::C]
+                .iter()
+                .map(|&p| at.count(f(p)))
+                .sum()
+        };
+        let share = |n: u64| 100.0 * n as f64 / total;
+        println!(
+            "  {:<6} {:>6.1}% {:>10.1}% {:>13.1}% {:>9.1}% {:>6.1}%",
+            step,
+            share(at.fired()),
+            share(sum_for(&StallCause::NoOperand)),
+            share(sum_for(&StallCause::BankConflict)),
+            share(at.count(StallCause::WritebackBackpressure)),
+            share(at.count(StallCause::Drain)),
+        );
+    }
+
     // Headline numbers the paper reports for the same figure.
     let speedup_max: f64 = groups
         .iter()
@@ -122,7 +169,13 @@ fn main() {
         .fold(0.0, f64::max);
     let access_min: f64 = groups
         .iter()
-        .map(|g| access_ratio[&(*g, 6)].samples().iter().copied().fold(f64::MAX, f64::min))
+        .map(|g| {
+            access_ratio[&(*g, 6)]
+                .samples()
+                .iter()
+                .copied()
+                .fold(f64::MAX, f64::min)
+        })
         .fold(f64::MAX, f64::min);
     println!("\nheadline: max speedup 6 vs 1 = {speedup_max:.2}x (paper: up to 2.89x)");
     println!(

@@ -37,7 +37,11 @@ fn main() {
         areas.share_pct(dm_total)
     );
     for (name, dm) in ["A", "B", "C", "D", "E"].iter().zip(&areas.datamaestros) {
-        println!("  DataMaestro {:<2} {:>6.2}%", name, areas.share_pct(dm.total()));
+        println!(
+            "  DataMaestro {:<2} {:>6.2}%",
+            name,
+            areas.share_pct(dm.total())
+        );
     }
 
     println!("\nFig. 9(b): area composition of DataMaestro A");

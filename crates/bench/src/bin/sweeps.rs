@@ -15,7 +15,10 @@ fn main() {
     let workload = GemmSpec::new(64, 64, 64).into();
 
     println!("FIFO depth sweep (GeMM-64, FIMA placement — conflicts must be absorbed):");
-    println!("{:<8} {:>12} {:>12} {:>10}", "D_DBf", "utilization", "conflicts", "cycles");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "D_DBf", "utilization", "conflicts", "cycles"
+    );
     dm_bench::rule(46);
     for depth in [1usize, 2, 4, 8, 16, 32] {
         let cfg = SystemConfig {
@@ -38,7 +41,10 @@ fn main() {
     }
 
     println!("\naddressing-mode effect (GeMM-64) — the Fig. 5(d) trade-off:");
-    println!("{:<26} {:>12} {:>12}", "placement", "utilization", "conflicts");
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "placement", "utilization", "conflicts"
+    );
     dm_bench::rule(52);
     for (name, step) in [("FIMA (shared space)", 5usize), ("GIMA (bank groups)", 6)] {
         let cfg = SystemConfig {
@@ -75,10 +81,7 @@ fn main() {
         );
         // …and its tiling constraint: the same placement refuses a GeMM
         // whose per-bank slice exceeds one bank.
-        let big = WorkloadData::generate(
-            dm_workloads::GemmSpec::new(4096, 32, 4096).into(),
-            1,
-        );
+        let big = WorkloadData::generate(dm_workloads::GemmSpec::new(4096, 32, 4096).into(), 1);
         let refused =
             compile_gemm_private_banks(&big, &cfg.features, &cfg.mem, BufferDepths::default());
         println!(

@@ -6,22 +6,20 @@
 //! cycles without memory stalls over the active cycles, aggregated over the
 //! whole network (layers weighted by their repeat counts).
 //!
-//! Pass `--quick` to simulate ResNet-18 only.
+//! Pass `--quick` to simulate ResNet-18 only, `--metrics-out <path>` to
+//! dump one JSONL metrics snapshot per layer, and `--trace-out <path>` to
+//! capture a Perfetto trace of the first simulated layer.
 
+use dm_sim::{StallAttribution, TraceMode};
 use dm_system::SystemConfig;
 use dm_workloads::table3_models;
 
 fn main() {
-    let mut quick = false;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            other => {
-                eprintln!("unknown option: {other} (supported: --quick)");
-                std::process::exit(2);
-            }
-        }
-    }
+    let args = dm_bench::parse_args();
+    let quick = args.quick;
+    let mut metrics_log = dm_bench::MetricsLog::create(args.metrics_out.as_deref())
+        .unwrap_or_else(|e| panic!("opening metrics log: {e}"));
+    let mut trace_pending = args.trace_out.as_deref();
     let paper = [
         ("ResNet-18", "CNN", 95.45),
         ("VGG-16", "CNN", 100.00),
@@ -41,11 +39,30 @@ fn main() {
         }
         let mut ideal = 0u64;
         let mut total = 0u64;
+        let mut attribution = StallAttribution::new();
         for (i, layer) in model.layers.iter().enumerate() {
-            let report = dm_bench::measure(&cfg, layer.workload, i as u64)
+            let mut layer_cfg = cfg;
+            let traced = trace_pending.is_some();
+            if traced {
+                layer_cfg.trace = TraceMode::Full;
+            }
+            let report = dm_bench::measure(&layer_cfg, layer.workload, i as u64)
                 .unwrap_or_else(|e| panic!("{} / {}: {e}", model.name, layer.name));
+            if let Some(path) = trace_pending.filter(|_| traced) {
+                dm_bench::write_trace(path, &report.traces)
+                    .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+                eprintln!(
+                    "  wrote Perfetto trace of {}/{} to {path}",
+                    model.name, layer.name
+                );
+                trace_pending = None;
+            }
+            metrics_log
+                .record(&format!("{}/{}", model.name, layer.name), &report)
+                .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
             ideal += report.ideal_cycles * u64::from(layer.repeat);
             total += report.total_cycles() * u64::from(layer.repeat);
+            attribution.merge(&report.attribution);
             eprintln!(
                 "  {:<12} {:<28} {:>8.2}%  ({} runs)",
                 model.name,
@@ -59,5 +76,26 @@ fn main() {
             "{:<12} {:<12} {:>13.2}% {:>11.2}%",
             model.name, model.family, util, paper_util
         );
+        let stalled = attribution.stalled();
+        if stalled > 0 {
+            let causes: Vec<String> = attribution
+                .breakdown()
+                .into_iter()
+                .map(|(cause, n)| {
+                    format!(
+                        "{} {:.1}%",
+                        cause.label(),
+                        100.0 * n as f64 / stalled as f64
+                    )
+                })
+                .collect();
+            eprintln!(
+                "  stall causes (unweighted layer sum): {}",
+                causes.join(", ")
+            );
+        }
     }
+    metrics_log
+        .finish()
+        .unwrap_or_else(|e| panic!("flushing metrics log: {e}"));
 }

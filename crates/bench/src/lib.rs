@@ -15,6 +15,10 @@
 //!
 //! Run them with `cargo run -p dm-bench --release --bin <name>`.
 
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+
+use dm_sim::{perfetto, JsonValue, Trace};
 use dm_system::{run_workload, RunReport, SystemConfig, SystemError};
 use dm_workloads::{Workload, WorkloadData};
 
@@ -57,13 +61,125 @@ pub fn representative_kernels() -> Vec<(&'static str, Workload)> {
 /// # Errors
 ///
 /// Propagates any [`SystemError`] from the simulation.
-pub fn measure(config: &SystemConfig, workload: Workload, seed: u64) -> Result<RunReport, SystemError> {
+pub fn measure(
+    config: &SystemConfig,
+    workload: Workload,
+    seed: u64,
+) -> Result<RunReport, SystemError> {
     let data = WorkloadData::generate(workload, seed);
     let cfg = SystemConfig {
         check_output: false,
         ..*config
     };
     run_workload(&cfg, &data)
+}
+
+/// Command-line options shared by the figure/table binaries.
+#[derive(Debug, Default)]
+pub struct BenchArgs {
+    /// Run a reduced workload subset for a fast smoke pass.
+    pub quick: bool,
+    /// Append one JSONL metrics snapshot per simulated run to this path.
+    pub metrics_out: Option<String>,
+    /// Write a Chrome/Perfetto `trace_event` JSON dump of one traced run.
+    pub trace_out: Option<String>,
+}
+
+/// Parses the standard bench flags: `--quick`, `--metrics-out <path>` and
+/// `--trace-out <path>`. Exits with status 2 on anything else.
+#[must_use]
+pub fn parse_args() -> BenchArgs {
+    let mut parsed = BenchArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => parsed.quick = true,
+            "--metrics-out" => {
+                parsed.metrics_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--metrics-out requires a path argument")),
+                );
+            }
+            "--trace-out" => {
+                parsed.trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--trace-out requires a path argument")),
+                );
+            }
+            other => usage_error(&format!("unknown option: {other}")),
+        }
+    }
+    parsed
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("supported options: --quick, --metrics-out <path>, --trace-out <path>");
+    std::process::exit(2);
+}
+
+/// Streaming JSONL sink for per-run metric snapshots.
+///
+/// Each [`record`](Self::record) call appends one line of the form
+/// `{"label": "...", "metrics": {"system.compute_cycles": ..., ...}}` with
+/// the registry flattened to dotted component paths. When constructed
+/// without a path every call is a no-op, so binaries can log
+/// unconditionally.
+pub struct MetricsLog {
+    out: Option<BufWriter<File>>,
+}
+
+impl MetricsLog {
+    /// Opens the sink, truncating any existing file; `None` disables it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    pub fn create(path: Option<&str>) -> io::Result<Self> {
+        let out = match path {
+            Some(p) => Some(BufWriter::new(File::create(p)?)),
+            None => None,
+        };
+        Ok(Self { out })
+    }
+
+    /// Appends the report's metric snapshot as one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error from the underlying writer.
+    pub fn record(&mut self, label: &str, report: &RunReport) -> io::Result<()> {
+        let Some(out) = &mut self.out else {
+            return Ok(());
+        };
+        let line = JsonValue::object([
+            ("label".to_owned(), JsonValue::from(label)),
+            ("metrics".to_owned(), report.metrics.to_json()),
+        ]);
+        writeln!(out, "{}", line.to_json())
+    }
+
+    /// Flushes and closes the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error from the final flush.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(out) = &mut self.out {
+            out.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes captured component traces as a Chrome/Perfetto `trace_event`
+/// JSON file (load it at `ui.perfetto.dev` or `chrome://tracing`).
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_trace(path: &str, traces: &[(String, Trace)]) -> io::Result<()> {
+    std::fs::write(path, perfetto::chrome_trace_json(traces))
 }
 
 /// Formats a ratio as a percentage with two decimals.

@@ -189,11 +189,7 @@ mod tests {
             let agu = SpatialAgu::new(&[2, 2, 2], &strides);
             for c in 0..8 {
                 let expected = (c % sx) as i64 + 1000 * (c / sx) as i64;
-                assert_eq!(
-                    agu.offsets()[c],
-                    expected,
-                    "sx={sx} sy={sy} channel {c}"
-                );
+                assert_eq!(agu.offsets()[c], expected, "sx={sx} sy={sy} channel {c}");
             }
         }
     }

@@ -129,8 +129,9 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            (1..=6).map(|s| FeatureSet::ablation_step(s).label()).collect();
+        let labels: std::collections::HashSet<_> = (1..=6)
+            .map(|s| FeatureSet::ablation_step(s).label())
+            .collect();
         assert_eq!(labels.len(), 6);
     }
 

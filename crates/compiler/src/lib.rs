@@ -221,8 +221,7 @@ mod tests {
 
     #[test]
     fn conv_without_im2col_gets_prepass() {
-        let data =
-            WorkloadData::generate(ConvSpec::new(10, 10, 8, 8, 3, 3, 1).into(), 5);
+        let data = WorkloadData::generate(ConvSpec::new(10, 10, 8, 8, 3, 3, 1).into(), 5);
         let features = FeatureSet::ablation_step(4); // im2col off
         let p = compile(&data, &features, &mem(), true, BufferDepths::default()).unwrap();
         assert!(p.prepasses.iter().any(|pp| pp.name == "explicit-im2col"));
@@ -232,8 +231,7 @@ mod tests {
 
     #[test]
     fn conv_with_im2col_uses_6d_agu() {
-        let data =
-            WorkloadData::generate(ConvSpec::new(10, 10, 8, 8, 3, 3, 1).into(), 5);
+        let data = WorkloadData::generate(ConvSpec::new(10, 10, 8, 8, 3, 3, 1).into(), 5);
         let p = compile(
             &data,
             &FeatureSet::full(),

@@ -6,7 +6,6 @@
 //! groups under mode switching), and the explicit pre-passes required when
 //! an on-the-fly feature is absent.
 
-
 use datamaestro::RuntimeConfig;
 use dm_mem::MemConfig;
 use dm_workloads::{layout, ConvSpec, GemmSpec, Workload, WorkloadData};
@@ -90,10 +89,7 @@ fn make_windows(mem: &MemConfig, features: &FeatureSet) -> Result<Windows, Compi
 /// most contiguous accesses). For stride-1 convolutions a conflict-free
 /// tiling almost always exists; strided ones often have none — the
 /// "unavoidable" conflicts of the paper's §IV-B.
-pub(crate) fn choose_pixel_tiling(
-    spec: &ConvSpec,
-    group_banks: usize,
-) -> Option<(usize, usize)> {
+pub(crate) fn choose_pixel_tiling(spec: &ConvSpec, group_banks: usize) -> Option<(usize, usize)> {
     use datamaestro::agu::SpatialAgu;
     let (oh, ow) = (spec.oh(), spec.ow());
     let mut best: Option<(usize, usize, usize)> = None; // (distinct, sx, sy)
@@ -160,17 +156,16 @@ pub(crate) fn compile_gemm(
             // Tile (kt, mt) lives at (kt·Mt + mt)·64.
             RuntimeConfig::builder()
                 .base(ra.base)
-                .temporal(
-                    [kt as u64, nt as u64, mt as u64],
-                    [mt as i64 * 64, 0, 64],
-                )
+                .temporal([kt as u64, nt as u64, mt as u64], [mt as i64 * 64, 0, 64])
                 .spatial_strides([8, 16, 32])
                 .addressing_mode(ra.mode)
                 .extension_bypass(a_bypass.clone())
                 .build()
         } else {
             // Explicit transpose pre-pass into a scratch A image.
-            let ra2 = w.window(w.a).alloc("A-transposed-scratch", (m * k) as u64)?;
+            let ra2 = w
+                .window(w.a)
+                .alloc("A-transposed-scratch", (m * k) as u64)?;
             prepasses.push(transpose_plan(ra, ra2, m, k));
             plain_a_runtime(ra2.base, ra2.mode, mt, nt, kt, &a_bypass)
         }
@@ -189,10 +184,7 @@ pub(crate) fn compile_gemm(
     let b_design = design_b(features, depths)?;
     let b_runtime = RuntimeConfig::builder()
         .base(rb.base)
-        .temporal(
-            [kt as u64, nt as u64, mt as u64],
-            [nt as i64 * 64, 64, 0],
-        )
+        .temporal([kt as u64, nt as u64, mt as u64], [nt as i64 * 64, 64, 0])
         .spatial_strides([8, 16, 32])
         .addressing_mode(rb.mode)
         .build();
@@ -219,9 +211,7 @@ pub(crate) fn compile_gemm(
         // materialized M×N int32 matrix. Bias is a static weight, so the
         // host replicates it at load time (no runtime pass) — the cost is
         // the 8× memory footprint and the 8× read traffic during compute.
-        let rcfull = w
-            .window(w.c)
-            .alloc("C-materialized", (m * n * 4) as u64)?;
+        let rcfull = w.window(w.c).alloc("C-materialized", (m * n * 4) as u64)?;
         let full: Vec<i32> = (0..m * n).map(|i| data.bias[i % n]).collect();
         images.push(OperandImage {
             name: "C-materialized".into(),
@@ -310,10 +300,7 @@ fn plain_a_runtime(
 ) -> RuntimeConfig {
     RuntimeConfig::builder()
         .base(base)
-        .temporal(
-            [kt as u64, nt as u64, mt as u64],
-            [64, 0, kt as i64 * 64],
-        )
+        .temporal([kt as u64, nt as u64, mt as u64], [64, 0, kt as i64 * 64])
         .spatial_strides([8, 16, 32])
         .addressing_mode(mode)
         .extension_bypass(bypass.to_vec())
@@ -330,8 +317,7 @@ fn transpose_plan(src: Region, dst: Region, m: usize, k: usize) -> CopyPlan {
     for mt_i in 0..mtiles {
         for kt_i in 0..ktiles {
             for r in 0..T {
-                let dst_addr =
-                    dst.base + ((mt_i * ktiles + kt_i) * T * T + r * T) as u64;
+                let dst_addr = dst.base + ((mt_i * ktiles + kt_i) * T * T + r * T) as u64;
                 // Byte c of this A row is Aᵀ image byte
                 // (kt·Mtiles + mt)·64 + c·8 + r.
                 let gather: Vec<usize> = (0..T)
@@ -393,7 +379,11 @@ pub(crate) fn compile_conv(
         bytes: in_bytes,
     });
     let a_design = design_a(features, depths)?;
-    let a_bypass: Vec<bool> = if features.transposer { vec![true] } else { Vec::new() };
+    let a_bypass: Vec<bool> = if features.transposer {
+        vec![true]
+    } else {
+        Vec::new()
+    };
     let a_runtime = if features.implicit_im2col {
         // 6-D implicit im2col walk (innermost first):
         // kx, ky, cin_t, cout_t (reuse), ox_t, oy_t.
@@ -417,7 +407,11 @@ pub(crate) fn compile_conv(
                     (sy * s * w_in) as i64 * 8,
                 ],
             )
-            .spatial_strides(pixel_spatial_strides(sx, s as i64 * 8, (s * w_in) as i64 * 8))
+            .spatial_strides(pixel_spatial_strides(
+                sx,
+                s as i64 * 8,
+                (s * w_in) as i64 * 8,
+            ))
             .addressing_mode(rin.mode)
             .extension_bypass(a_bypass.clone())
             .build()
@@ -514,11 +508,7 @@ pub(crate) fn compile_conv(
             .base(rcfull.base)
             .temporal(
                 [cout_t as u64, ox_t as u64, oy_t as u64],
-                [
-                    (oh * ow) as i64 * 32,
-                    sx as i64 * 32,
-                    (sy * ow) as i64 * 32,
-                ],
+                [(oh * ow) as i64 * 32, sx as i64 * 32, (sy * ow) as i64 * 32],
             )
             .spatial_strides(spatial)
             .addressing_mode(rcfull.mode)
@@ -597,14 +587,7 @@ pub(crate) fn compile_conv(
 fn im2col_plan(spec: &ConvSpec, input: Region, dst: Region, sx: usize, sy: usize) -> CopyPlan {
     let (oh, ow) = (spec.oh(), spec.ow());
     let (ox_tiles, oy_tiles) = (ow / sx, oh / sy);
-    let (cin_t, kh, kw, s, h, w) = (
-        spec.c_in / T,
-        spec.kh,
-        spec.kw,
-        spec.stride,
-        spec.h,
-        spec.w,
-    );
+    let (cin_t, kh, kw, s, h, w) = (spec.c_in / T, spec.kh, spec.kw, spec.stride, spec.h, spec.w);
     let kappa_total = cin_t * kh * kw;
     // The DMA carries a small (16-word) reuse window — a line buffer, not a
     // cache: it captures the heavy kx-overlap between adjacent kernel
@@ -658,4 +641,3 @@ fn im2col_plan(spec: &ConvSpec, input: Region, dst: Region, sx: usize, sy: usize
         writes,
     }
 }
-

@@ -99,7 +99,11 @@ pub fn compile_gemm_private_banks(
         });
     }
     let a_design = design_a(features, depths)?;
-    let a_bypass: Vec<bool> = if features.transposer { vec![true] } else { Vec::new() };
+    let a_bypass: Vec<bool> = if features.transposer {
+        vec![true]
+    } else {
+        Vec::new()
+    };
     let a_runtime = RuntimeConfig::builder()
         .base(a_regions[0].base)
         .temporal([kt as u64, nt as u64, mt as u64], [8, 0, kt as i64 * 8])
@@ -235,8 +239,9 @@ mod tests {
     #[test]
     fn private_banks_compile_for_plain_gemm() {
         let data = WorkloadData::generate(GemmSpec::new(32, 32, 32).into(), 1);
-        let p = compile_gemm_private_banks(&data, &FeatureSet::full(), &mem(), BufferDepths::default())
-            .unwrap();
+        let p =
+            compile_gemm_private_banks(&data, &FeatureSet::full(), &mem(), BufferDepths::default())
+                .unwrap();
         assert_eq!(p.images.len(), 8 + 8 + 4);
         assert_eq!(p.output_slices.len(), 8);
         for img in &p.images {
@@ -271,13 +276,9 @@ mod tests {
         // A slice of m·k/8 bytes must fit one bank (4096 rows × 8 B = 32 KiB
         // here): a 1024×512 GeMM needs 64 KiB per slice and must fail.
         let data = WorkloadData::generate(GemmSpec::new(1024, 32, 512).into(), 3);
-        let err = compile_gemm_private_banks(
-            &data,
-            &FeatureSet::full(),
-            &mem(),
-            BufferDepths::default(),
-        )
-        .unwrap_err();
+        let err =
+            compile_gemm_private_banks(&data, &FeatureSet::full(), &mem(), BufferDepths::default())
+                .unwrap_err();
         assert!(matches!(err, CompileError::Placement { .. }));
     }
 

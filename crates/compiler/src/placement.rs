@@ -76,8 +76,7 @@ impl BankWindow {
                 ),
             });
         }
-        let group_bytes =
-            (num_banks * mem.rows_per_bank() * mem.bank_width_bytes()) as u64;
+        let group_bytes = (num_banks * mem.rows_per_bank() * mem.bank_width_bytes()) as u64;
         let group_index = (first_bank / num_banks) as u64;
         Ok(BankWindow {
             mode: AddressingMode::GroupedInterleaved {

@@ -82,7 +82,11 @@ pub fn compile_pool(
     let conv_view = spec.as_conv();
     let (sx, sy) =
         choose_pixel_tiling(&conv_view, group_banks).ok_or_else(|| CompileError::Unsupported {
-            reason: format!("output plane {}x{} has no 8-pixel tiling", spec.oh(), spec.ow()),
+            reason: format!(
+                "output plane {}x{} has no 8-pixel tiling",
+                spec.oh(),
+                spec.ow()
+            ),
         })?;
     let (oh, ow) = (spec.oh(), spec.ow());
     let (h, w, s, k) = (spec.h, spec.w, spec.stride, spec.k);
@@ -208,6 +212,9 @@ mod tests {
             BufferDepths::default(),
         )
         .unwrap();
-        assert_ne!(p.images[0].region.mode, dm_mem::AddressingMode::FullyInterleaved);
+        assert_ne!(
+            p.images[0].region.mode,
+            dm_mem::AddressingMode::FullyInterleaved
+        );
     }
 }

@@ -66,9 +66,7 @@ impl CopyPlan {
     pub fn max_dependency(&self, write_idx: usize, word_bytes: usize) -> Option<usize> {
         match &self.writes.get(write_idx)?.1 {
             WriteSource::Word(i) => Some(*i),
-            WriteSource::Gather(offsets) => {
-                offsets.iter().map(|&o| o / word_bytes).max()
-            }
+            WriteSource::Gather(offsets) => offsets.iter().map(|&o| o / word_bytes).max(),
         }
     }
 }
@@ -145,12 +143,8 @@ impl CompiledWorkload {
     #[must_use]
     pub fn expected_output_image(&self, data: &WorkloadData) -> Vec<u8> {
         match (self.workload, self.quantized) {
-            (Workload::Gemm(g), true) => {
-                layout::pack_gemm_e(&data.expected_e(), g.m, g.n)
-            }
-            (Workload::Gemm(g), false) => {
-                layout::pack_gemm_cd(&data.expected_d(), g.m, g.n)
-            }
+            (Workload::Gemm(g), true) => layout::pack_gemm_e(&data.expected_e(), g.m, g.n),
+            (Workload::Gemm(g), false) => layout::pack_gemm_cd(&data.expected_d(), g.m, g.n),
             (Workload::Conv(c), true) => {
                 layout::pack_conv_out_i8(&data.expected_e(), c.oh(), c.ow(), c.c_out)
             }

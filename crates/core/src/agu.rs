@@ -48,6 +48,11 @@ pub struct TemporalAgu {
     offsets: Vec<i64>,
     produced: u64,
     total: u64,
+    /// Outermost dimension wrapped by the most recent
+    /// [`next_address`](Self::next_address) call, if any.
+    last_wrap: Option<usize>,
+    /// Total dimension wraps since construction or reset.
+    wraps: u64,
 }
 
 impl TemporalAgu {
@@ -71,6 +76,8 @@ impl TemporalAgu {
             offsets: vec![0; bounds.len()],
             produced: 0,
             total,
+            last_wrap: None,
+            wraps: 0,
         }
     }
 
@@ -84,6 +91,7 @@ impl TemporalAgu {
         debug_assert!(addr >= 0, "negative temporal address generated");
         self.produced += 1;
         // Dual-counter increment with carry, innermost dimension first.
+        self.last_wrap = None;
         for d in 0..self.bounds.len() {
             self.indices[d] += 1;
             if self.indices[d] < self.bounds[d] {
@@ -92,8 +100,24 @@ impl TemporalAgu {
             }
             self.indices[d] = 0;
             self.offsets[d] = 0;
+            self.last_wrap = Some(d);
+            self.wraps += 1;
         }
         Some(addr as u64)
+    }
+
+    /// The outermost dimension the most recent [`next_address`] call
+    /// wrapped (carried past its bound), or `None` if it only stepped.
+    #[must_use]
+    pub fn last_wrap(&self) -> Option<usize> {
+        self.last_wrap
+    }
+
+    /// Total dimension wraps observed since construction or
+    /// [`reset`](Self::reset).
+    #[must_use]
+    pub fn wraps(&self) -> u64 {
+        self.wraps
     }
 
     /// Addresses produced so far.
@@ -119,6 +143,8 @@ impl TemporalAgu {
         self.indices.fill(0);
         self.offsets.fill(0);
         self.produced = 0;
+        self.last_wrap = None;
+        self.wraps = 0;
     }
 
     /// The smallest and largest byte addresses this pattern will emit,
@@ -294,6 +320,26 @@ mod tests {
         agu.next_address();
         assert_eq!(agu.produced(), 1);
         assert!(!agu.is_done());
+    }
+
+    #[test]
+    fn wrap_tracking_reports_carries() {
+        // 2×2 nest: the inner dim wraps on every second step.
+        let mut agu = TemporalAgu::new(0, &[2, 2], &[4, 16]);
+        assert_eq!(agu.last_wrap(), None);
+        agu.next_address();
+        assert_eq!(agu.last_wrap(), None, "first step only increments");
+        agu.next_address();
+        assert_eq!(agu.last_wrap(), Some(0), "inner bound reached: carry");
+        agu.next_address();
+        assert_eq!(agu.last_wrap(), None);
+        agu.next_address();
+        assert_eq!(agu.last_wrap(), Some(1), "both dims wrap at exhaustion");
+        // Wrap count: dim0 wrapped twice, dim1 once.
+        assert_eq!(agu.wraps(), 3);
+        agu.reset();
+        assert_eq!(agu.wraps(), 0);
+        assert_eq!(agu.last_wrap(), None);
     }
 
     #[test]

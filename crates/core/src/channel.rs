@@ -346,7 +346,9 @@ mod tests {
 
     fn mem_with(n: usize) -> (MemorySubsystem, Vec<RequesterId>) {
         let mut mem = MemorySubsystem::new(MemConfig::new(4, 8, 64).unwrap());
-        let ids = (0..n).map(|i| mem.register_requester(format!("ch{i}"))).collect();
+        let ids = (0..n)
+            .map(|i| mem.register_requester(format!("ch{i}")))
+            .collect();
         (mem, ids)
     }
 

@@ -432,7 +432,9 @@ mod tests {
 
     #[test]
     fn builder_defaults_are_sane() {
-        let d = DesignConfig::builder("x", StreamerMode::Write).build().unwrap();
+        let d = DesignConfig::builder("x", StreamerMode::Write)
+            .build()
+            .unwrap();
         assert_eq!(d.num_channels(), 8);
         assert_eq!(d.temporal_dims(), 3);
         assert_eq!(d.addr_buffer_depth(), 8);
@@ -525,7 +527,9 @@ mod tests {
 
     #[test]
     fn total_steps_is_bound_product() {
-        let rt = RuntimeConfig::builder().temporal([3, 5, 2], [1, 1, 1]).build();
+        let rt = RuntimeConfig::builder()
+            .temporal([3, 5, 2], [1, 1, 1])
+            .build();
         assert_eq!(rt.total_temporal_steps(), 30);
     }
 

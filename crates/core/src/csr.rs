@@ -159,8 +159,7 @@ pub fn encode_runtime(
     csrs[map.base()] = runtime.base;
     for d in 0..design.temporal_dims() {
         csrs[map.temporal_bound(d)] = runtime.temporal_bounds.get(d).copied().unwrap_or(1);
-        csrs[map.temporal_stride(d)] =
-            runtime.temporal_strides.get(d).copied().unwrap_or(0) as u64;
+        csrs[map.temporal_stride(d)] = runtime.temporal_strides.get(d).copied().unwrap_or(0) as u64;
     }
     for j in 0..design.spatial_dims() {
         csrs[map.spatial_stride(j)] = runtime.spatial_strides[j] as u64;
@@ -184,10 +183,7 @@ pub fn encode_runtime(
 /// # Errors
 ///
 /// Returns [`ConfigError`] for a short image or an invalid mode value.
-pub fn decode_runtime(
-    design: &DesignConfig,
-    csrs: &[u64],
-) -> Result<RuntimeConfig, ConfigError> {
+pub fn decode_runtime(design: &DesignConfig, csrs: &[u64]) -> Result<RuntimeConfig, ConfigError> {
     let map = CsrMap::for_design(design);
     if csrs.len() < map.num_csrs() {
         return Err(ConfigError::DimensionMismatch {

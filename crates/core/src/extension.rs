@@ -109,8 +109,7 @@ impl ExtensionKind {
                     for c in 0..*cols {
                         let src = (r * cols + c) * elem_bytes;
                         let dst = (c * rows + r) * elem_bytes;
-                        out[dst..dst + elem_bytes]
-                            .copy_from_slice(&input[src..src + elem_bytes]);
+                        out[dst..dst + elem_bytes].copy_from_slice(&input[src..src + elem_bytes]);
                     }
                 }
                 out
@@ -297,7 +296,9 @@ mod tests {
         };
         assert!(t.validate(6).is_ok());
         assert!(t.validate(8).is_err());
-        assert!(ExtensionKind::Broadcaster { factor: 0 }.validate(4).is_err());
+        assert!(ExtensionKind::Broadcaster { factor: 0 }
+            .validate(4)
+            .is_err());
         assert!(ExtensionKind::Transposer {
             rows: 0,
             cols: 3,
@@ -326,20 +327,13 @@ mod tests {
         assert_eq!(chain.output_width(), 8);
         assert_eq!(chain.num_stages(), 2);
         // [[1,2],[3,4]] → transpose [1,3,2,4] → duplicate.
-        assert_eq!(
-            chain.process(&[1, 2, 3, 4]),
-            vec![1, 3, 2, 4, 1, 3, 2, 4]
-        );
+        assert_eq!(chain.process(&[1, 2, 3, 4]), vec![1, 3, 2, 4, 1, 3, 2, 4]);
     }
 
     #[test]
     fn bypass_skips_stage_and_width() {
-        let chain = ExtensionChain::new(
-            &[ExtensionKind::Broadcaster { factor: 4 }],
-            &[true],
-            4,
-        )
-        .unwrap();
+        let chain =
+            ExtensionChain::new(&[ExtensionKind::Broadcaster { factor: 4 }], &[true], 4).unwrap();
         assert_eq!(chain.output_width(), 4);
         assert_eq!(chain.process(&[9, 9, 9, 9]), vec![9, 9, 9, 9]);
     }

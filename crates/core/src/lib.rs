@@ -72,8 +72,9 @@ pub mod extension;
 pub mod reader;
 pub mod writer;
 
-pub use config::{DesignConfig, DesignConfigBuilder, RuntimeConfig, RuntimeConfigBuilder,
-                 StreamerMode};
+pub use config::{
+    DesignConfig, DesignConfigBuilder, RuntimeConfig, RuntimeConfigBuilder, StreamerMode,
+};
 pub use csr::{decode_runtime, encode_runtime, CsrMap};
 pub use error::ConfigError;
 pub use extension::{ExtensionChain, ExtensionKind};

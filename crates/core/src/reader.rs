@@ -16,9 +16,10 @@
 //! data-movement unit: one wide request at a time and no overlap between the
 //! memory round-trip and consumption (the ablation baseline ①).
 
-use dm_mem::{Addr, AddressRemapper, BankLocation, MemConfig, MemResponse, MemorySubsystem,
-             RequesterId};
-use dm_sim::Counter;
+use dm_mem::{
+    Addr, AddressRemapper, BankLocation, MemConfig, MemResponse, MemorySubsystem, RequesterId,
+};
+use dm_sim::{Counter, Cycle, Instrumented, MetricsRegistry, Trace, TraceEventKind, TraceMode};
 use serde::{Deserialize, Serialize};
 
 use crate::agu::{SpatialAgu, TemporalAgu};
@@ -99,6 +100,11 @@ pub struct ReadStreamer {
     coarse_open: bool,
     coarse_started: Vec<bool>,
     stats: StreamerStats,
+    trace: Trace,
+    /// Whether any channel lost crossbar arbitration in the most recent
+    /// grant phase; the system uses this to attribute operand stalls to bank
+    /// conflicts rather than plain latency.
+    lost_arbitration: bool,
 }
 
 impl ReadStreamer {
@@ -125,11 +131,8 @@ impl ReadStreamer {
         let mem_cfg = *mem.scratchpad().config();
         let (remapper, tagu, sagu) = bind_pattern(design, runtime, &mem_cfg)?;
         let input_width = design.num_channels() * mem_cfg.bank_width_bytes();
-        let chain = ExtensionChain::new(
-            design.extensions(),
-            &runtime.extension_bypass,
-            input_width,
-        )?;
+        let chain =
+            ExtensionChain::new(design.extensions(), &runtime.extension_bypass, input_width)?;
         let channels = (0..design.num_channels())
             .map(|c| {
                 let id = mem.register_requester(format!("{}/ch{c}", design.name()));
@@ -148,7 +151,26 @@ impl ReadStreamer {
             coarse_open: false,
             coarse_started: vec![false; n],
             stats: StreamerStats::default(),
+            trace: Trace::new(),
+            lost_arbitration: false,
         })
+    }
+
+    /// Configures event tracing (disabled by default).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace = mode.build();
+    }
+
+    /// Takes the captured event trace, leaving a disabled one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// `true` if any channel lost crossbar arbitration in the most recent
+    /// grant phase.
+    #[must_use]
+    pub fn lost_arbitration(&self) -> bool {
+        self.lost_arbitration
     }
 
     /// Streamer name.
@@ -202,12 +224,29 @@ impl ReadStreamer {
     pub fn generate_and_issue(&mut self, mem: &mut MemorySubsystem) {
         // AGU: emit the next temporal address if every channel buffer has
         // room (channels consume the same temporal cadence).
-        if !self.tagu.is_done() && self.channels.iter().all(ReadChannel::has_addr_space) {
-            if let Some(ta) = self.tagu.next_address() {
-                self.stats.temporal_addresses.inc();
-                for (c, channel) in self.channels.iter_mut().enumerate() {
-                    channel.push_addr(self.sagu.channel_address(ta, c));
+        if !self.tagu.is_done() {
+            if self.channels.iter().all(ReadChannel::has_addr_space) {
+                if let Some(ta) = self.tagu.next_address() {
+                    self.stats.temporal_addresses.inc();
+                    for (c, channel) in self.channels.iter_mut().enumerate() {
+                        channel.push_addr(self.sagu.channel_address(ta, c));
+                    }
+                    if let Some(dim) = self.tagu.last_wrap() {
+                        self.trace
+                            .emit(mem.cycle(), &self.name, TraceEventKind::AguWrap { dim });
+                    }
                 }
+            } else if self.trace.is_enabled() {
+                let blocked = self
+                    .channels
+                    .iter()
+                    .position(|c| !c.has_addr_space())
+                    .expect("some channel lacks address space");
+                self.trace.emit(
+                    mem.cycle(),
+                    &self.name,
+                    TraceEventKind::FifoFull { channel: blocked },
+                );
             }
         }
         // RSC: start new requests where allowed, then submit pending ones.
@@ -215,25 +254,21 @@ impl ReadStreamer {
         for (c, channel) in self.channels.iter_mut().enumerate() {
             let may_start = self.fine_grained || (self.coarse_open && !self.coarse_started[c]);
             if may_start {
-                let started = channel.try_start_request(|addr| {
-                    map_checked(remapper, addr)
-                });
+                let started = channel.try_start_request(|addr| map_checked(remapper, addr));
                 if started && !self.fine_grained {
                     self.coarse_started[c] = true;
                 }
             }
             channel.submit(mem);
         }
-        if !self.fine_grained
-            && self.coarse_open
-            && self.coarse_started.iter().all(|&s| s)
-        {
+        if !self.fine_grained && self.coarse_open && self.coarse_started.iter().all(|&s| s) {
             self.coarse_open = false;
         }
     }
 
     /// Phase 5: consume the grant flags after crossbar arbitration.
     pub fn handle_grants(&mut self, grants: &[bool]) {
+        self.lost_arbitration = false;
         for channel in &mut self.channels {
             let flag = grants[channel.requester().index()];
             let had_pending = channel.has_pending();
@@ -243,6 +278,7 @@ impl ReadStreamer {
                     self.stats.granted.inc();
                 } else {
                     self.stats.retries.inc();
+                    self.lost_arbitration = true;
                 }
             }
         }
@@ -252,6 +288,19 @@ impl ReadStreamer {
     #[must_use]
     pub fn can_pop_wide(&self) -> bool {
         self.channels.iter().all(ReadChannel::has_data)
+    }
+
+    /// Records (into this streamer's trace) that the consumer found the
+    /// stream blocked this cycle; the first channel without buffered data
+    /// is the laggard holding back the wide word.
+    pub fn note_consumer_blocked(&mut self, cycle: Cycle) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        if let Some(channel) = self.channels.iter().position(|ch| !ch.has_data()) {
+            self.trace
+                .emit(cycle, &self.name, TraceEventKind::FifoEmpty { channel });
+        }
     }
 
     /// Gathers one word from every channel, applies the extension cascade
@@ -296,6 +345,26 @@ impl ReadStreamer {
             .map(ReadChannel::fifo_high_watermark)
             .max()
             .unwrap_or(0)
+    }
+}
+
+impl Instrumented for ReadStreamer {
+    fn register_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.set_counter("granted", self.stats.granted.get());
+        registry.set_counter("retries", self.stats.retries.get());
+        registry.set_counter("wide_words", self.stats.wide_words.get());
+        registry.set_counter("temporal_addresses", self.stats.temporal_addresses.get());
+        registry.set_counter("agu_wraps", self.tagu.wraps());
+        registry.set_counter("fifo_high_watermark", self.fifo_high_watermark() as u64);
+        for (c, channel) in self.channels.iter().enumerate() {
+            registry.with_scope(&format!("ch{c}"), |r| {
+                let stats = channel.stats();
+                r.set_counter("granted", stats.granted.get());
+                r.set_counter("retries", stats.retries.get());
+                r.set_counter("responses", stats.responses.get());
+                r.set_counter("fifo_high_watermark", channel.fifo_high_watermark() as u64);
+            });
+        }
     }
 }
 
@@ -385,9 +454,7 @@ mod tests {
         assert_eq!(words.len(), 4);
         // Temporal step t starts at word 4t; channels read words 4t..4t+4.
         for (t, word) in words.iter().enumerate() {
-            let expected: Vec<u8> = (0..4)
-                .flat_map(|c| [(4 * t + c) as u8; 8])
-                .collect();
+            let expected: Vec<u8> = (0..4).flat_map(|c| [(4 * t + c) as u8; 8]).collect();
             assert_eq!(word, &expected, "wide word {t}");
         }
         assert_eq!(s.stats().granted.get(), 16);
@@ -446,7 +513,9 @@ mod tests {
     #[test]
     fn rejects_wrong_mode() {
         let mut mem = mem();
-        let d = DesignConfig::builder("W", StreamerMode::Write).build().unwrap();
+        let d = DesignConfig::builder("W", StreamerMode::Write)
+            .build()
+            .unwrap();
         let err = ReadStreamer::new(&d, &runtime(0), &mut mem).unwrap_err();
         assert!(matches!(err, ConfigError::InvalidParameter { .. }));
     }
@@ -469,6 +538,35 @@ mod tests {
         let capacity = mem.scratchpad().config().capacity_bytes();
         let err = ReadStreamer::new(&design(), &runtime(capacity - 32), &mut mem).unwrap_err();
         assert!(matches!(err, ConfigError::PatternOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn trace_and_metrics_capture_streaming() {
+        use dm_sim::{TraceEventKind, TraceMode};
+
+        let mut mem = mem();
+        let mut s = ReadStreamer::new(&design(), &runtime(0), &mut mem).unwrap();
+        s.set_trace_mode(TraceMode::Full);
+        let mut cycles = 0;
+        while !s.is_done() && cycles < 100 {
+            tick(&mut s, &mut mem);
+            cycles += 1;
+            if s.can_pop_wide() {
+                let _ = s.pop_wide();
+            }
+        }
+        assert!(s.is_done());
+        let mut reg = dm_sim::MetricsRegistry::new();
+        s.register_metrics(&mut reg);
+        assert_eq!(reg.get("granted").unwrap().as_f64(), 16.0);
+        assert_eq!(reg.get("temporal_addresses").unwrap().as_f64(), 4.0);
+        assert!(reg.get("ch3.responses").is_some());
+        // The single-dim pattern wraps exactly once, at exhaustion.
+        assert_eq!(reg.get("agu_wraps").unwrap().as_f64(), 1.0);
+        let trace = s.take_trace();
+        assert!(trace
+            .iter()
+            .any(|e| e.kind == TraceEventKind::AguWrap { dim: 0 }));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! through the crossbar, retrying on bank conflicts.
 
 use dm_mem::{MemorySubsystem, RequesterId};
+use dm_sim::{Cycle, Instrumented, MetricsRegistry, Trace, TraceEventKind, TraceMode};
 
 use crate::agu::{SpatialAgu, TemporalAgu};
 use crate::channel::WriteChannel;
@@ -27,6 +28,12 @@ pub struct WriteStreamer {
     word_bytes: usize,
     fine_grained: bool,
     stats: StreamerStats,
+    trace: Trace,
+    /// Whether any channel lost crossbar arbitration in the most recent
+    /// grant phase (see [`ReadStreamer::lost_arbitration`]).
+    ///
+    /// [`ReadStreamer::lost_arbitration`]: crate::ReadStreamer::lost_arbitration
+    lost_arbitration: bool,
 }
 
 impl WriteStreamer {
@@ -65,11 +72,8 @@ impl WriteStreamer {
             // validated by the chain below).
             input_width /= kind.output_width(1);
         }
-        let chain = ExtensionChain::new(
-            design.extensions(),
-            &runtime.extension_bypass,
-            input_width,
-        )?;
+        let chain =
+            ExtensionChain::new(design.extensions(), &runtime.extension_bypass, input_width)?;
         if chain.output_width() != split_width {
             return Err(ConfigError::InvalidParameter {
                 parameter: "extensions",
@@ -95,7 +99,26 @@ impl WriteStreamer {
             word_bytes,
             fine_grained: design.fine_grained_prefetch(),
             stats: StreamerStats::default(),
+            trace: Trace::new(),
+            lost_arbitration: false,
         })
+    }
+
+    /// Configures event tracing (disabled by default).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace = mode.build();
+    }
+
+    /// Takes the captured event trace, leaving a disabled one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// `true` if any channel lost crossbar arbitration in the most recent
+    /// grant phase.
+    #[must_use]
+    pub fn lost_arbitration(&self) -> bool {
+        self.lost_arbitration
     }
 
     /// Streamer name.
@@ -118,12 +141,29 @@ impl WriteStreamer {
 
     /// Phase 4: run the AGU and drain channel FIFOs into the crossbar.
     pub fn generate_and_issue(&mut self, mem: &mut MemorySubsystem) {
-        if !self.tagu.is_done() && self.channels.iter().all(WriteChannel::has_addr_space) {
-            if let Some(ta) = self.tagu.next_address() {
-                self.stats.temporal_addresses.inc();
-                for (c, channel) in self.channels.iter_mut().enumerate() {
-                    channel.push_addr(self.sagu.channel_address(ta, c));
+        if !self.tagu.is_done() {
+            if self.channels.iter().all(WriteChannel::has_addr_space) {
+                if let Some(ta) = self.tagu.next_address() {
+                    self.stats.temporal_addresses.inc();
+                    for (c, channel) in self.channels.iter_mut().enumerate() {
+                        channel.push_addr(self.sagu.channel_address(ta, c));
+                    }
+                    if let Some(dim) = self.tagu.last_wrap() {
+                        self.trace
+                            .emit(mem.cycle(), &self.name, TraceEventKind::AguWrap { dim });
+                    }
                 }
+            } else if self.trace.is_enabled() {
+                let blocked = self
+                    .channels
+                    .iter()
+                    .position(|c| !c.has_addr_space())
+                    .expect("some channel lacks address space");
+                self.trace.emit(
+                    mem.cycle(),
+                    &self.name,
+                    TraceEventKind::FifoFull { channel: blocked },
+                );
             }
         }
         for channel in &mut self.channels {
@@ -133,6 +173,7 @@ impl WriteStreamer {
 
     /// Phase 5: consume grant flags; granted writes retire.
     pub fn handle_grants(&mut self, grants: &[bool]) {
+        self.lost_arbitration = false;
         for channel in &mut self.channels {
             let had_backlog = channel.backlog() > 0;
             let flag = grants[channel.requester().index()];
@@ -142,6 +183,7 @@ impl WriteStreamer {
                     self.stats.granted.inc();
                 } else {
                     self.stats.retries.inc();
+                    self.lost_arbitration = true;
                 }
             }
         }
@@ -159,6 +201,20 @@ impl WriteStreamer {
             ready
         } else {
             ready && self.channels.iter().all(WriteChannel::is_quiescent)
+        }
+    }
+
+    /// Records (into this streamer's trace) that the producer found the
+    /// stream blocked this cycle; the first channel unable to accept a word
+    /// is the laggard (coarse-grained mode may also block on quiescence,
+    /// in which case no single channel is at fault and nothing is emitted).
+    pub fn note_producer_blocked(&mut self, cycle: Cycle) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        if let Some(channel) = self.channels.iter().position(|ch| !ch.can_accept()) {
+            self.trace
+                .emit(cycle, &self.name, TraceEventKind::FifoFull { channel });
         }
     }
 
@@ -223,6 +279,25 @@ impl WriteStreamer {
     }
 }
 
+impl Instrumented for WriteStreamer {
+    fn register_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.set_counter("granted", self.stats.granted.get());
+        registry.set_counter("retries", self.stats.retries.get());
+        registry.set_counter("wide_words", self.stats.wide_words.get());
+        registry.set_counter("temporal_addresses", self.stats.temporal_addresses.get());
+        registry.set_counter("agu_wraps", self.tagu.wraps());
+        registry.set_counter("fifo_high_watermark", self.fifo_high_watermark() as u64);
+        for (c, channel) in self.channels.iter().enumerate() {
+            registry.with_scope(&format!("ch{c}"), |r| {
+                let stats = channel.stats();
+                r.set_counter("granted", stats.granted.get());
+                r.set_counter("retries", stats.retries.get());
+                r.set_counter("fifo_high_watermark", channel.fifo_high_watermark() as u64);
+            });
+        }
+    }
+}
+
 impl std::fmt::Debug for WriteStreamer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WriteStreamer")
@@ -284,11 +359,9 @@ mod tests {
             cycles += 1;
         }
         assert!(s.is_done(), "writer drained");
-        let remap = AddressRemapper::new(
-            mem.scratchpad().config(),
-            AddressingMode::FullyInterleaved,
-        )
-        .unwrap();
+        let remap =
+            AddressRemapper::new(mem.scratchpad().config(), AddressingMode::FullyInterleaved)
+                .unwrap();
         let out = mem.scratchpad().host_read(&remap, Addr::ZERO, 128).unwrap();
         let expected: Vec<u8> = (0..128).map(|i| i as u8).collect();
         assert_eq!(out, expected);
@@ -326,7 +399,9 @@ mod tests {
     #[test]
     fn rejects_wrong_mode() {
         let mut mem = mem();
-        let d = DesignConfig::builder("A", StreamerMode::Read).build().unwrap();
+        let d = DesignConfig::builder("A", StreamerMode::Read)
+            .build()
+            .unwrap();
         assert!(WriteStreamer::new(&d, &runtime(), &mut mem).is_err());
     }
 

@@ -35,8 +35,8 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
         Just(AddressingMode::NonInterleaved),
     ];
     (
-        0u64..8,                                        // base words
-        proptest::collection::vec((1u64..4, 0i64..6), 1..3), // temporal dims (word strides)
+        0u64..8,                                               // base words
+        proptest::collection::vec((1u64..4, 0i64..6), 1..3),   // temporal dims (word strides)
         proptest::collection::vec((1usize..3, 0i64..4), 1..3), // spatial dims
         mode,
         any::<bool>(),

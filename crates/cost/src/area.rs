@@ -80,7 +80,11 @@ impl DataMaestroArea {
 
 /// Computes one DataMaestro's area from its design parameters.
 #[must_use]
-pub fn datamaestro_area(design: &DesignConfig, unit: &UnitAreas, word_bits: usize) -> DataMaestroArea {
+pub fn datamaestro_area(
+    design: &DesignConfig,
+    unit: &UnitAreas,
+    word_bits: usize,
+) -> DataMaestroArea {
     let channels = design.num_channels() as f64;
     let fifo_bits = channels * design.data_buffer_depth() as f64 * word_bits as f64;
     // Address buffers are part of the FIFO storage class.
@@ -185,13 +189,11 @@ pub fn system_area(spec: &EvaluationSystemSpec, unit: &UnitAreas) -> AreaBreakdo
     // operand pipeline registers.
     let pes = spec.array.num_pes() as f64;
     let acc_bits = (spec.array.m_unroll * spec.array.n_unroll * 32) as f64;
-    let operand_regs =
-        ((spec.array.a_tile_bytes() + spec.array.b_tile_bytes()) * 8) as f64;
+    let operand_regs = ((spec.array.a_tile_bytes() + spec.array.b_tile_bytes()) * 8) as f64;
     let gemm = pes * unit.mac8 + (acc_bits + operand_regs) * unit.ff_bit;
 
     // Quantization accelerator: one rescale unit per output lane.
-    let quant =
-        (spec.array.m_unroll * spec.array.n_unroll) as f64 * unit.rescale_unit;
+    let quant = (spec.array.m_unroll * spec.array.n_unroll) as f64 * unit.rescale_unit;
 
     let datamaestros = spec
         .streamers

@@ -167,8 +167,14 @@ mod tests {
         let r = report();
         let lut_share = r.lut_share_pct(r.datamaestros);
         let reg_share = r.reg_share_pct(r.datamaestros);
-        assert!((2.0..12.0).contains(&lut_share), "DM LUT share {lut_share}%");
-        assert!((2.0..15.0).contains(&reg_share), "DM reg share {reg_share}%");
+        assert!(
+            (2.0..12.0).contains(&lut_share),
+            "DM LUT share {lut_share}%"
+        );
+        assert!(
+            (2.0..15.0).contains(&reg_share),
+            "DM reg share {reg_share}%"
+        );
     }
 
     #[test]

@@ -153,9 +153,6 @@ mod tests {
     fn display_formats_hex() {
         assert_eq!(Addr::new(255).to_string(), "0xff");
         assert_eq!(format!("{:x}", Addr::new(255)), "ff");
-        assert_eq!(
-            BankLocation { bank: 2, row: 9 }.to_string(),
-            "bank 2 row 9"
-        );
+        assert_eq!(BankLocation { bank: 2, row: 9 }.to_string(), "bank 2 row 9");
     }
 }

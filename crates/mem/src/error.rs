@@ -52,7 +52,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::NotPowerOfTwo { parameter, value } => {
-                write!(f, "{parameter} must be a non-zero power of two, got {value}")
+                write!(
+                    f,
+                    "{parameter} must be a non-zero power of two, got {value}"
+                )
             }
             MemError::GroupTooLarge { group, banks } => {
                 write!(f, "bank group of {group} does not divide {banks} banks")
@@ -85,7 +88,10 @@ mod tests {
             parameter: "num_banks",
             value: 3,
         };
-        assert_eq!(e.to_string(), "num_banks must be a non-zero power of two, got 3");
+        assert_eq!(
+            e.to_string(),
+            "num_banks must be a non-zero power of two, got 3"
+        );
         let e = MemError::Misaligned {
             addr: 0x11,
             alignment: 8,

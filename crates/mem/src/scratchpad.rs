@@ -215,12 +215,10 @@ impl Scratchpad {
         len: usize,
     ) -> Result<Vec<u8>, MemError> {
         let w = self.config.bank_width_bytes as u64;
-        let end = addr
-            .checked_add(len as u64)
-            .ok_or(MemError::OutOfBounds {
-                addr: addr.get(),
-                capacity: self.config.capacity_bytes(),
-            })?;
+        let end = addr.checked_add(len as u64).ok_or(MemError::OutOfBounds {
+            addr: addr.get(),
+            capacity: self.config.capacity_bytes(),
+        })?;
         if end.get() > self.config.capacity_bytes() {
             return Err(MemError::OutOfBounds {
                 addr: addr.get(),

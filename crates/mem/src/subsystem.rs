@@ -19,7 +19,10 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use dm_sim::{Counter, Cycle, RoundRobinArbiter};
+use dm_sim::{
+    Counter, Cycle, Distribution, Instrumented, MetricsRegistry, RoundRobinArbiter, Trace,
+    TraceEventKind, TraceMode,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::addr::BankLocation;
@@ -130,6 +133,7 @@ pub struct MemorySubsystem {
     stats: MemStats,
     cycle: Cycle,
     traffic_started: bool,
+    trace: Trace,
 }
 
 impl MemorySubsystem {
@@ -159,7 +163,25 @@ impl MemorySubsystem {
             stats: MemStats::default(),
             cycle: Cycle::ZERO,
             traffic_started: false,
+            trace: Trace::new(),
         }
+    }
+
+    /// Configures event tracing (disabled by default; costs one branch per
+    /// conflict when off).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace = mode.build();
+    }
+
+    /// The captured event trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes the captured event trace, leaving a disabled one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
     }
 
     /// Registers a requester (e.g. `"streamer-A/ch0"`).
@@ -302,6 +324,14 @@ impl MemorySubsystem {
                 self.stats
                     .conflicts
                     .add(submission_indices.len() as u64 - 1);
+                self.trace.emit(
+                    self.cycle,
+                    "xbar",
+                    TraceEventKind::BankConflict {
+                        bank,
+                        contenders: submission_indices.len() as u64,
+                    },
+                );
             }
             let requesters: Vec<usize> = submission_indices
                 .iter()
@@ -310,8 +340,10 @@ impl MemorySubsystem {
             let winner = self.arbiters[bank]
                 .grant_sparse(&requesters)
                 .expect("non-empty request list always grants");
-            let submission_idx = submission_indices
-                [requesters.iter().position(|&r| r == winner).expect("winner requested")];
+            let submission_idx = submission_indices[requesters
+                .iter()
+                .position(|&r| r == winner)
+                .expect("winner requested")];
             self.grants[winner] = true;
             self.per_bank_accesses[bank] += 1;
             let request = &self.submissions[submission_idx];
@@ -353,8 +385,7 @@ impl MemorySubsystem {
         if !self.traffic_started {
             self.traffic_started = true;
             let n = self.requester_names.len().max(1);
-            self.arbiters =
-                vec![RoundRobinArbiter::new(n); self.scratchpad.config().num_banks()];
+            self.arbiters = vec![RoundRobinArbiter::new(n); self.scratchpad.config().num_banks()];
             self.submitted = vec![false; self.requester_names.len()];
             self.grants = vec![false; self.requester_names.len()];
         }
@@ -369,6 +400,27 @@ impl fmt::Debug for MemorySubsystem {
             .field("cycle", &self.cycle)
             .field("stats", &self.stats)
             .finish()
+    }
+}
+
+impl Instrumented for MemorySubsystem {
+    fn register_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.set_counter("reads", self.stats.reads.get());
+        registry.set_counter("writes", self.stats.writes.get());
+        registry.set_counter("submissions", self.stats.submissions.get());
+        registry.set_counter("conflicts", self.stats.conflicts.get());
+        registry.set_counter("cycles", self.cycle.get());
+        let submissions = self.stats.submissions.get();
+        if submissions > 0 {
+            registry.set_gauge(
+                "conflict_rate",
+                self.stats.conflicts.get() as f64 / submissions as f64,
+            );
+        }
+        if self.per_bank_accesses.iter().any(|&n| n > 0) {
+            let d: Distribution = self.per_bank_accesses.iter().map(|&n| n as f64).collect();
+            registry.set_summary("bank_accesses", &d.summary());
+        }
     }
 }
 
@@ -480,7 +532,9 @@ mod tests {
     #[test]
     fn requests_to_distinct_banks_all_granted() {
         let mut mem = subsystem();
-        let ids: Vec<_> = (0..4).map(|i| mem.register_requester(format!("r{i}"))).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| mem.register_requester(format!("r{i}")))
+            .collect();
         for (i, &id) in ids.iter().enumerate() {
             mem.submit(read(id, i, 0, 0)).unwrap();
         }
@@ -585,5 +639,44 @@ mod tests {
         assert!(!mem.is_idle());
         mem.take_responses();
         assert!(mem.is_idle());
+    }
+
+    #[test]
+    fn conflicts_emit_trace_events() {
+        let mut mem = subsystem();
+        let a = mem.register_requester("a");
+        let b = mem.register_requester("b");
+        mem.set_trace_mode(TraceMode::Full);
+        mem.submit(read(a, 2, 0, 0)).unwrap();
+        mem.submit(read(b, 2, 1, 0)).unwrap();
+        mem.arbitrate();
+        let trace = mem.take_trace();
+        let event = trace.iter().next().expect("conflict traced");
+        assert_eq!(event.source, "xbar");
+        assert_eq!(
+            event.kind,
+            TraceEventKind::BankConflict {
+                bank: 2,
+                contenders: 2
+            }
+        );
+        assert!(!mem.trace().is_enabled(), "take_trace leaves tracing off");
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_stats() {
+        let mut mem = subsystem();
+        let a = mem.register_requester("a");
+        let b = mem.register_requester("b");
+        mem.submit(read(a, 2, 0, 0)).unwrap();
+        mem.submit(read(b, 2, 1, 0)).unwrap();
+        mem.arbitrate();
+        let mut reg = MetricsRegistry::new();
+        mem.register_metrics(&mut reg);
+        assert_eq!(reg.get("reads").unwrap().as_f64(), 1.0);
+        assert_eq!(reg.get("conflicts").unwrap().as_f64(), 1.0);
+        assert_eq!(reg.get("submissions").unwrap().as_f64(), 2.0);
+        assert!(reg.get("conflict_rate").is_some());
+        assert!(reg.get("bank_accesses.max").is_some());
     }
 }

@@ -51,11 +51,7 @@ impl RoundRobinArbiter {
     ///
     /// Panics if `requests.len()` differs from the configured port count.
     pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
-        assert_eq!(
-            requests.len(),
-            self.ports,
-            "request vector width mismatch"
-        );
+        assert_eq!(requests.len(), self.ports, "request vector width mismatch");
         for offset in 0..self.ports {
             let idx = (self.next + offset) % self.ports;
             if requests[idx] {

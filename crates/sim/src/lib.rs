@@ -12,7 +12,13 @@
 //!   bank by the interleaved crossbar;
 //! * [`stats`] — simple saturating counters and distribution summaries
 //!   (min / quartiles / max / mean) used to reproduce the paper's box plots;
-//! * [`trace`] — an optional, cheap event trace for debugging pipelines.
+//! * [`trace`] — an optional, cheap typed event trace for pipelines;
+//! * [`stall`] — the per-cycle stall-cause taxonomy and attribution used to
+//!   explain the paper's ablation deltas;
+//! * [`metrics`] — the hierarchical, path-keyed metrics registry every
+//!   instrumented component snapshots into;
+//! * [`json`] / [`perfetto`] — dependency-free JSON plumbing and the
+//!   Chrome/Perfetto `trace_event` exporter for captured traces.
 //!
 //! Everything here is deterministic: no wall-clock time, no randomness.
 //!
@@ -31,11 +37,18 @@
 pub mod arbiter;
 pub mod cycle;
 pub mod fifo;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod stall;
 pub mod stats;
 pub mod trace;
 
 pub use arbiter::RoundRobinArbiter;
 pub use cycle::Cycle;
 pub use fifo::{Fifo, ReservedSlot};
+pub use json::{JsonError, JsonValue};
+pub use metrics::{Instrumented, MetricValue, MetricsRegistry};
+pub use stall::{Port, StallAttribution, StallCause};
 pub use stats::{Counter, Distribution, Summary};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceEventKind, TraceMode};

@@ -1,0 +1,289 @@
+//! Hierarchical metrics registry.
+//!
+//! Every instrumented component publishes its counters and gauges into a
+//! [`MetricsRegistry`] under a dotted component path (`streamer.A.ch3.
+//! granted`, `mem.conflicts`, `system.stall.drain`), so the system can
+//! snapshot everything uniformly and exporters can dump one flat,
+//! deterministic map per run. Paths sort lexicographically; snapshots of
+//! identical runs compare equal (`PartialEq`), which the system exploits to
+//! assert that instrumentation never perturbs simulation state.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::{JsonError, JsonValue};
+use crate::stats::Summary;
+
+/// One published metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A monotonically accumulated event count.
+    Counter(u64),
+    /// A point-in-time or derived value.
+    Gauge(f64),
+}
+
+impl MetricValue {
+    /// The value as a float regardless of variant.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            MetricValue::Counter(n) => n as f64,
+            MetricValue::Gauge(g) => g,
+        }
+    }
+
+    fn to_json(self) -> JsonValue {
+        match self {
+            MetricValue::Counter(n) => JsonValue::from(n),
+            MetricValue::Gauge(g) => JsonValue::from(g),
+        }
+    }
+}
+
+/// Components that can publish their state into a registry.
+///
+/// Implementors write metrics relative to the registry's current scope; the
+/// caller chooses the component path via [`MetricsRegistry::with_scope`].
+pub trait Instrumented {
+    /// Publishes this component's metrics under the registry's current
+    /// scope.
+    fn register_metrics(&self, registry: &mut MetricsRegistry);
+}
+
+/// A component-path-keyed snapshot of every metric in the system.
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::{MetricsRegistry, MetricValue};
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.with_scope("streamer.A", |r| {
+///     r.set_counter("granted", 128);
+///     r.with_scope("ch0", |r| r.set_gauge("occupancy", 0.5));
+/// });
+/// assert_eq!(reg.get("streamer.A.granted"), Some(MetricValue::Counter(128)));
+/// assert_eq!(reg.get("streamer.A.ch0.occupancy"), Some(MetricValue::Gauge(0.5)));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    #[serde(skip)]
+    prefix: String,
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry at the root scope.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Runs `f` with `segment` appended to the scope path. Nested calls
+    /// compose (`a` then `b` publishes under `a.b.`).
+    pub fn with_scope(&mut self, segment: &str, f: impl FnOnce(&mut Self)) {
+        let saved = self.prefix.len();
+        if !self.prefix.is_empty() {
+            self.prefix.push('.');
+        }
+        self.prefix.push_str(segment);
+        f(self);
+        self.prefix.truncate(saved);
+    }
+
+    fn full_path(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}.{name}", self.prefix)
+        }
+    }
+
+    /// Publishes a counter under the current scope.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.metrics
+            .insert(self.full_path(name), MetricValue::Counter(value));
+    }
+
+    /// Publishes a gauge under the current scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — like [`crate::stats::Distribution::record`], a NaN
+    /// metric always indicates an upstream bug.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        assert!(!value.is_nan(), "NaN metric {}", self.full_path(name));
+        self.metrics
+            .insert(self.full_path(name), MetricValue::Gauge(value));
+    }
+
+    /// Publishes a distribution summary as `name.{count,min,q1,median,q3,
+    /// max,mean}` gauges under the current scope.
+    pub fn set_summary(&mut self, name: &str, summary: &Summary) {
+        self.with_scope(name, |r| {
+            r.set_counter("count", summary.count as u64);
+            r.set_gauge("min", summary.min);
+            r.set_gauge("q1", summary.q1);
+            r.set_gauge("median", summary.median);
+            r.set_gauge("q3", summary.q3);
+            r.set_gauge("max", summary.max);
+            r.set_gauge("mean", summary.mean);
+        });
+    }
+
+    /// Looks up a metric by its full dotted path.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<MetricValue> {
+        self.metrics.get(path).copied()
+    }
+
+    /// Number of published metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when nothing has been published.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// All metrics in lexicographic path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.metrics.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// The snapshot as one flat JSON object keyed by path (sorted).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        )
+    }
+
+    /// Parses a snapshot serialized by [`to_json`](Self::to_json). Numbers
+    /// without a fraction load as counters, others as gauges; since
+    /// [`MetricValue::as_f64`] is variant-agnostic this round-trips all
+    /// values exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed JSON or a non-object root.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let root = JsonValue::parse(text)?;
+        let pairs = root.as_object().ok_or(JsonError {
+            message: "metrics snapshot must be a JSON object",
+            offset: 0,
+        })?;
+        let mut reg = MetricsRegistry::new();
+        for (path, value) in pairs {
+            let metric = match value.as_u64() {
+                Some(n) => MetricValue::Counter(n),
+                None => MetricValue::Gauge(value.as_f64().ok_or(JsonError {
+                    message: "metric value must be a number",
+                    offset: 0,
+                })?),
+            };
+            reg.metrics.insert(path.clone(), metric);
+        }
+        Ok(reg)
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (path, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(n) => writeln!(f, "{path} = {n}")?,
+                MetricValue::Gauge(g) => writeln!(f, "{path} = {g}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Distribution;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("top", 1);
+        reg.with_scope("a", |r| {
+            r.set_counter("x", 2);
+            r.with_scope("b", |r| r.set_counter("y", 3));
+            r.set_counter("z", 4);
+        });
+        reg.set_counter("bottom", 5);
+        assert_eq!(reg.get("top"), Some(MetricValue::Counter(1)));
+        assert_eq!(reg.get("a.x"), Some(MetricValue::Counter(2)));
+        assert_eq!(reg.get("a.b.y"), Some(MetricValue::Counter(3)));
+        assert_eq!(reg.get("a.z"), Some(MetricValue::Counter(4)));
+        assert_eq!(reg.get("bottom"), Some(MetricValue::Counter(5)));
+        assert_eq!(reg.len(), 5);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_path() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("b", 1);
+        reg.set_counter("a", 2);
+        reg.set_counter("a.c", 3);
+        let paths: Vec<&str> = reg.iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["a", "a.c", "b"]);
+    }
+
+    #[test]
+    fn summary_flattens_to_gauges() {
+        let d: Distribution = [1.0, 2.0, 3.0].into_iter().collect();
+        let mut reg = MetricsRegistry::new();
+        reg.with_scope("mem", |r| r.set_summary("bank_accesses", &d.summary()));
+        assert_eq!(
+            reg.get("mem.bank_accesses.count"),
+            Some(MetricValue::Counter(3))
+        );
+        assert_eq!(
+            reg.get("mem.bank_accesses.median"),
+            Some(MetricValue::Gauge(2.0))
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_snapshot() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("system.cycles", 12345);
+        reg.set_gauge("system.utilization", 0.875);
+        reg.with_scope("streamer.A", |r| r.set_counter("retries", 7));
+        let text = reg.to_json().to_json();
+        let back = MetricsRegistry::from_json(&text).unwrap();
+        assert_eq!(back, reg);
+    }
+
+    #[test]
+    fn from_json_rejects_non_objects() {
+        assert!(MetricsRegistry::from_json("[1,2]").is_err());
+        assert!(MetricsRegistry::from_json("{\"a\": \"str\"}").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN metric")]
+    fn nan_gauge_panics() {
+        MetricsRegistry::new().set_gauge("bad", f64::NAN);
+    }
+
+    #[test]
+    fn display_lists_metrics() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("a", 1);
+        assert_eq!(reg.to_string(), "a = 1\n");
+    }
+}

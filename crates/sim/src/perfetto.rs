@@ -1,0 +1,301 @@
+//! Chrome / Perfetto `trace_event` export.
+//!
+//! Converts captured [`Trace`]s into the JSON trace-event format that
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev) load
+//! directly. Each trace becomes one named thread track (`M` metadata
+//! events); point events become complete events (`ph: "X"`, one-cycle
+//! duration); [`TraceEventKind::SpanBegin`] / [`SpanEnd`] become `B`/`E`
+//! pairs; and runs of consecutive PE fire/stall cycles are coalesced into
+//! single `X` events spanning the run, which keeps compute-phase dumps
+//! compact and makes the stall structure visible at a glance.
+//!
+//! Timestamps map one simulated cycle to one microsecond of trace time (the
+//! format's `ts` unit), so cycle numbers read directly off the Perfetto
+//! ruler.
+
+use crate::json::JsonValue;
+use crate::trace::{Trace, TraceEvent, TraceEventKind};
+
+/// The process id all tracks share.
+const PID: u64 = 1;
+
+/// Renders named traces as a Chrome trace-event JSON document.
+///
+/// Events are globally sorted by timestamp (stable, so same-cycle events
+/// keep their emission order and `B` precedes its `E`).
+#[must_use]
+pub fn chrome_trace(tracks: &[(String, Trace)]) -> JsonValue {
+    let mut events: Vec<(u64, JsonValue)> = Vec::new();
+    for (tid0, (name, trace)) in tracks.iter().enumerate() {
+        let tid = tid0 as u64 + 1;
+        events.push((
+            0,
+            JsonValue::object([
+                ("ph".into(), JsonValue::from("M")),
+                ("pid".into(), JsonValue::from(PID)),
+                ("tid".into(), JsonValue::from(tid)),
+                ("ts".into(), JsonValue::from(0u64)),
+                ("name".into(), JsonValue::from("thread_name")),
+                (
+                    "args".into(),
+                    JsonValue::object([("name".into(), JsonValue::from(name.as_str()))]),
+                ),
+            ]),
+        ));
+        track_events(trace, tid, &mut events);
+    }
+    events.sort_by_key(|(ts, _)| *ts);
+    JsonValue::object([
+        (
+            "traceEvents".into(),
+            JsonValue::Array(events.into_iter().map(|(_, e)| e).collect()),
+        ),
+        ("displayTimeUnit".into(), JsonValue::from("ms")),
+        (
+            "otherData".into(),
+            JsonValue::object([("clock".into(), JsonValue::from("1 cycle = 1 us"))]),
+        ),
+    ])
+}
+
+/// [`chrome_trace`] serialized to a JSON string.
+#[must_use]
+pub fn chrome_trace_json(tracks: &[(String, Trace)]) -> String {
+    chrome_trace(tracks).to_json()
+}
+
+fn track_events(trace: &Trace, tid: u64, out: &mut Vec<(u64, JsonValue)>) {
+    // Coalesce runs of per-cycle PE events: consecutive cycles with the same
+    // fire/stall kind collapse into one spanning X event.
+    let mut run: Option<(u64, u64, TraceEventKind)> = None; // (start, len, kind)
+    for event in trace.iter() {
+        let ts = event.cycle.get();
+        let is_pe = matches!(
+            event.kind,
+            TraceEventKind::PeFire | TraceEventKind::PeStall { .. }
+        );
+        if let Some((start, len, ref kind)) = run {
+            if is_pe && event.kind == *kind && ts == start + len {
+                run = Some((start, len + 1, kind.clone()));
+                continue;
+            }
+            out.push((start, complete_event(start, len, kind, tid)));
+            run = None;
+        }
+        if is_pe {
+            run = Some((ts, 1, event.kind.clone()));
+            continue;
+        }
+        match &event.kind {
+            TraceEventKind::SpanBegin { name } => {
+                out.push((ts, duration_event("B", ts, name, tid)));
+            }
+            TraceEventKind::SpanEnd { name } => {
+                out.push((ts, duration_event("E", ts, name, tid)));
+            }
+            kind => out.push((ts, point_event(event, kind, tid))),
+        }
+    }
+    if let Some((start, len, ref kind)) = run {
+        out.push((start, complete_event(start, len, kind, tid)));
+    }
+}
+
+fn base_fields(ph: &str, name: &str, ts: u64, tid: u64) -> Vec<(String, JsonValue)> {
+    vec![
+        ("ph".into(), JsonValue::from(ph)),
+        ("pid".into(), JsonValue::from(PID)),
+        ("tid".into(), JsonValue::from(tid)),
+        ("ts".into(), JsonValue::from(ts)),
+        ("name".into(), JsonValue::from(name)),
+    ]
+}
+
+fn duration_event(ph: &str, ts: u64, name: &str, tid: u64) -> JsonValue {
+    JsonValue::Object(base_fields(ph, name, ts, tid))
+}
+
+fn complete_event(start: u64, len: u64, kind: &TraceEventKind, tid: u64) -> JsonValue {
+    let name = match kind {
+        TraceEventKind::PeStall { cause } => format!("stall: {cause}"),
+        _ => "fire".to_owned(),
+    };
+    let mut fields = base_fields("X", &name, start, tid);
+    fields.push(("dur".into(), JsonValue::from(len)));
+    fields.push(("cat".into(), JsonValue::from(kind.name())));
+    fields.push((
+        "args".into(),
+        JsonValue::object([("cycles".into(), JsonValue::from(len))]),
+    ));
+    JsonValue::Object(fields)
+}
+
+fn point_event(event: &TraceEvent, kind: &TraceEventKind, tid: u64) -> JsonValue {
+    let mut fields = base_fields("X", kind.name(), event.cycle.get(), tid);
+    fields.push(("dur".into(), JsonValue::from(1u64)));
+    fields.push(("cat".into(), JsonValue::from(kind.name())));
+    let args = match kind {
+        TraceEventKind::BankConflict { bank, contenders } => JsonValue::object([
+            ("bank".into(), JsonValue::from(*bank)),
+            ("contenders".into(), JsonValue::from(*contenders)),
+        ]),
+        TraceEventKind::FifoFull { channel } | TraceEventKind::FifoEmpty { channel } => {
+            JsonValue::object([("channel".into(), JsonValue::from(*channel))])
+        }
+        TraceEventKind::AguWrap { dim } => {
+            JsonValue::object([("dim".into(), JsonValue::from(*dim))])
+        }
+        TraceEventKind::RemapModeSwitch { from, to } => JsonValue::object([
+            ("from".into(), JsonValue::from(from.as_str())),
+            ("to".into(), JsonValue::from(to.as_str())),
+        ]),
+        TraceEventKind::Message(text) => {
+            JsonValue::object([("message".into(), JsonValue::from(text.as_str()))])
+        }
+        _ => JsonValue::object([]),
+    };
+    fields.push(("args".into(), args));
+    fields.push(("args_source".into(), JsonValue::from(event.source.as_str())));
+    JsonValue::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::Cycle;
+    use crate::stall::{Port, StallCause};
+
+    fn pe_trace() -> Trace {
+        let mut t = Trace::new();
+        t.enable();
+        for c in 0..3 {
+            t.emit(Cycle::new(c), "pe", TraceEventKind::PeFire);
+        }
+        for c in 3..5 {
+            t.emit(
+                Cycle::new(c),
+                "pe",
+                TraceEventKind::PeStall {
+                    cause: StallCause::BankConflict(Port::A),
+                },
+            );
+        }
+        t.emit(Cycle::new(9), "pe", TraceEventKind::PeFire);
+        t
+    }
+
+    fn events(doc: &JsonValue) -> &[JsonValue] {
+        doc.get("traceEvents").unwrap().as_array().unwrap()
+    }
+
+    #[test]
+    fn coalesces_pe_runs() {
+        let doc = chrome_trace(&[("pe".into(), pe_trace())]);
+        // 1 metadata + fire×3 run + stall×2 run + lone fire.
+        let evs = events(&doc);
+        assert_eq!(evs.len(), 4);
+        let fire = &evs[1];
+        assert_eq!(fire.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(fire.get("ts").unwrap().as_u64(), Some(0));
+        assert_eq!(fire.get("dur").unwrap().as_u64(), Some(3));
+        let stall = &evs[2];
+        assert_eq!(
+            stall.get("name").unwrap().as_str(),
+            Some("stall: bank-conflict(A)")
+        );
+        assert_eq!(stall.get("dur").unwrap().as_u64(), Some(2));
+        let lone = &evs[3];
+        assert_eq!(lone.get("ts").unwrap().as_u64(), Some(9));
+        assert_eq!(lone.get("dur").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn spans_emit_balanced_begin_end() {
+        let mut t = Trace::new();
+        t.enable();
+        t.emit(
+            Cycle::new(2),
+            "sys",
+            TraceEventKind::SpanBegin {
+                name: "compute".into(),
+            },
+        );
+        t.emit(
+            Cycle::new(8),
+            "sys",
+            TraceEventKind::SpanEnd {
+                name: "compute".into(),
+            },
+        );
+        let doc = chrome_trace(&[("sys".into(), t)]);
+        let evs = events(&doc);
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(evs[2].get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(evs[1].get("name"), evs[2].get("name"));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_across_tracks() {
+        let mut other = Trace::new();
+        other.enable();
+        other.emit(
+            Cycle::new(1),
+            "xbar",
+            TraceEventKind::BankConflict {
+                bank: 3,
+                contenders: 2,
+            },
+        );
+        let doc = chrome_trace(&[("pe".into(), pe_trace()), ("mem".into(), other)]);
+        let ts: Vec<u64> = events(&doc)
+            .iter()
+            .map(|e| e.get("ts").unwrap().as_u64().unwrap())
+            .collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "ts not monotonic: {ts:?}"
+        );
+    }
+
+    #[test]
+    fn metadata_names_tracks() {
+        let doc = chrome_trace(&[("streamer-A".into(), Trace::new())]);
+        let meta = &events(&doc)[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("streamer-A")
+        );
+    }
+
+    #[test]
+    fn point_events_carry_typed_args() {
+        let mut t = Trace::new();
+        t.enable();
+        t.emit(
+            Cycle::new(4),
+            "xbar",
+            TraceEventKind::BankConflict {
+                bank: 7,
+                contenders: 3,
+            },
+        );
+        let doc = chrome_trace(&[("mem".into(), t)]);
+        let ev = &events(&doc)[1];
+        assert_eq!(ev.get("name").unwrap().as_str(), Some("bank-conflict"));
+        assert_eq!(
+            ev.get("args").unwrap().get("bank").unwrap().as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            ev.get("args").unwrap().get("contenders").unwrap().as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn output_parses_as_json() {
+        let text = chrome_trace_json(&[("pe".into(), pe_trace())]);
+        assert!(JsonValue::parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,314 @@
+//! Per-cycle stall attribution.
+//!
+//! The ablation story of the paper (Fig. 7 ①→⑥) is entirely a story about
+//! *why* the PE array does not fire: operands missing because the memory
+//! round-trip is exposed, requests losing bank arbitration, the writeback
+//! path pushing back, or the tail-end drain after the last compute step.
+//! [`StallAttribution`] classifies every non-firing cycle into that taxonomy
+//! so a run can report `fired + Σ stalls == total cycles` exactly.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::JsonValue;
+
+/// An accelerator port involved in a stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Port {
+    /// The A operand stream.
+    A,
+    /// The B operand stream.
+    B,
+    /// The C (accumulator) operand stream.
+    C,
+    /// The output writeback stream.
+    Out,
+}
+
+impl Port {
+    /// Short label (`"A"`, `"B"`, `"C"`, `"OUT"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Port::A => "A",
+            Port::B => "B",
+            Port::C => "C",
+            Port::Out => "OUT",
+        }
+    }
+}
+
+/// Why the PE array could not fire on one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StallCause {
+    /// An operand FIFO was empty and its streamer was *not* losing
+    /// arbitration on the previous cycle: the stall is exposed memory
+    /// latency or AGU cadence, not contention.
+    NoOperand(Port),
+    /// An operand FIFO was empty while its streamer lost bank arbitration
+    /// on the previous cycle: contention on the scratchpad banks.
+    BankConflict(Port),
+    /// All operands were ready but the writeback streamer could not accept
+    /// the produced tile.
+    WritebackBackpressure,
+    /// All compute steps have issued; the run is waiting for the writeback
+    /// path to drain.
+    Drain,
+}
+
+impl StallCause {
+    /// Every cause, in reporting order.
+    pub const ALL: [StallCause; 8] = [
+        StallCause::NoOperand(Port::A),
+        StallCause::NoOperand(Port::B),
+        StallCause::NoOperand(Port::C),
+        StallCause::BankConflict(Port::A),
+        StallCause::BankConflict(Port::B),
+        StallCause::BankConflict(Port::C),
+        StallCause::WritebackBackpressure,
+        StallCause::Drain,
+    ];
+
+    /// Stable human/machine label, e.g. `"bank-conflict(B)"`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::NoOperand(Port::A) => "no-operand(A)",
+            StallCause::NoOperand(Port::B) => "no-operand(B)",
+            StallCause::NoOperand(Port::C) => "no-operand(C)",
+            StallCause::NoOperand(Port::Out) => "no-operand(OUT)",
+            StallCause::BankConflict(Port::A) => "bank-conflict(A)",
+            StallCause::BankConflict(Port::B) => "bank-conflict(B)",
+            StallCause::BankConflict(Port::C) => "bank-conflict(C)",
+            StallCause::BankConflict(Port::Out) => "bank-conflict(OUT)",
+            StallCause::WritebackBackpressure => "writeback-backpressure",
+            StallCause::Drain => "drain",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallCause::NoOperand(Port::A) => 0,
+            StallCause::NoOperand(Port::B) => 1,
+            StallCause::NoOperand(Port::C | Port::Out) => 2,
+            StallCause::BankConflict(Port::A) => 3,
+            StallCause::BankConflict(Port::B) => 4,
+            StallCause::BankConflict(Port::C | Port::Out) => 5,
+            StallCause::WritebackBackpressure => 6,
+            StallCause::Drain => 7,
+        }
+    }
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classification of every cycle of a compute phase: fired, or stalled for
+/// exactly one [`StallCause`].
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::{Port, StallAttribution, StallCause};
+///
+/// let mut att = StallAttribution::new();
+/// att.record_fire();
+/// att.record_stall(StallCause::NoOperand(Port::A));
+/// att.record_stall(StallCause::Drain);
+/// assert_eq!(att.total_cycles(), 3);
+/// assert_eq!(att.stalled(), 2);
+/// assert_eq!(att.count(StallCause::Drain), 1);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallAttribution {
+    fired: u64,
+    counts: [u64; StallCause::ALL.len()],
+}
+
+impl StallAttribution {
+    /// Creates an empty attribution.
+    #[must_use]
+    pub fn new() -> Self {
+        StallAttribution::default()
+    }
+
+    /// Records one firing cycle.
+    pub fn record_fire(&mut self) {
+        self.fired += 1;
+    }
+
+    /// Records one stalled cycle with its cause.
+    pub fn record_stall(&mut self, cause: StallCause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    /// Cycles the PE array fired.
+    #[must_use]
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Cycles attributed to `cause`.
+    #[must_use]
+    pub fn count(&self, cause: StallCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Total stalled cycles across all causes.
+    #[must_use]
+    pub fn stalled(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total classified cycles: `fired + stalled`. The system asserts this
+    /// equals the compute-phase cycle count on every run.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.fired + self.stalled()
+    }
+
+    /// Fraction of classified cycles the array fired (0 for an empty
+    /// attribution).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.fired as f64 / total as f64
+        }
+    }
+
+    /// `(cause, cycles)` for every cause with a nonzero count, reporting
+    /// order.
+    #[must_use]
+    pub fn breakdown(&self) -> Vec<(StallCause, u64)> {
+        StallCause::ALL
+            .iter()
+            .map(|&c| (c, self.count(c)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Merges another attribution into this one (suite-level aggregation).
+    pub fn merge(&mut self, other: &StallAttribution) {
+        self.fired += other.fired;
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// The attribution as a JSON object keyed by cause label.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![("fired".to_owned(), JsonValue::from(self.fired))];
+        for &cause in &StallCause::ALL {
+            pairs.push((cause.label().to_owned(), JsonValue::from(self.count(cause))));
+        }
+        JsonValue::Object(pairs)
+    }
+}
+
+impl fmt::Display for StallAttribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_cycles();
+        writeln!(
+            f,
+            "cycles {total} | fired {} ({:.1}%)",
+            self.fired,
+            self.utilization() * 100.0
+        )?;
+        for (cause, n) in self.breakdown() {
+            writeln!(
+                f,
+                "  {:<24} {:>10}  ({:.1}%)",
+                cause.label(),
+                n,
+                if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64 * 100.0
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_is_exact() {
+        let mut att = StallAttribution::new();
+        for _ in 0..10 {
+            att.record_fire();
+        }
+        att.record_stall(StallCause::BankConflict(Port::B));
+        att.record_stall(StallCause::BankConflict(Port::B));
+        att.record_stall(StallCause::WritebackBackpressure);
+        assert_eq!(att.fired(), 10);
+        assert_eq!(att.stalled(), 3);
+        assert_eq!(att.total_cycles(), 13);
+        assert_eq!(att.count(StallCause::BankConflict(Port::B)), 2);
+        assert_eq!(att.count(StallCause::Drain), 0);
+        assert!((att.utilization() - 10.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_lists_nonzero_causes_in_order() {
+        let mut att = StallAttribution::new();
+        att.record_stall(StallCause::Drain);
+        att.record_stall(StallCause::NoOperand(Port::A));
+        let causes: Vec<_> = att.breakdown().into_iter().map(|(c, _)| c).collect();
+        assert_eq!(
+            causes,
+            vec![StallCause::NoOperand(Port::A), StallCause::Drain]
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StallAttribution::new();
+        a.record_fire();
+        a.record_stall(StallCause::Drain);
+        let mut b = StallAttribution::new();
+        b.record_stall(StallCause::Drain);
+        a.merge(&b);
+        assert_eq!(a.count(StallCause::Drain), 2);
+        assert_eq!(a.total_cycles(), 3);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            StallCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), StallCause::ALL.len());
+    }
+
+    #[test]
+    fn json_reports_all_causes() {
+        let mut att = StallAttribution::new();
+        att.record_fire();
+        att.record_stall(StallCause::Drain);
+        let json = att.to_json();
+        assert_eq!(json.get("fired").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("drain").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("no-operand(A)").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn display_mentions_every_nonzero_cause() {
+        let mut att = StallAttribution::new();
+        att.record_fire();
+        att.record_stall(StallCause::BankConflict(Port::A));
+        let text = att.to_string();
+        assert!(text.contains("bank-conflict(A)"));
+        assert!(!text.contains("drain"));
+    }
+}

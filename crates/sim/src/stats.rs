@@ -6,6 +6,7 @@
 //! median, max, mean). [`Counter`] is a trivially cheap event counter used
 //! throughout the simulator for memory accesses, conflicts, stalls, etc.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::AddAssign;
 
@@ -93,9 +94,21 @@ impl From<Counter> for u64 {
 /// assert_eq!(s.max, 1.0);
 /// assert!((s.mean - 0.75).abs() < 1e-12);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Distribution {
     samples: Vec<f64>,
+    /// Lazily maintained ascending copy of `samples`, so repeated
+    /// [`summary`](Self::summary) / [`percentile`](Self::percentile) calls
+    /// sort at most once per batch of records. Valid iff its length matches
+    /// `samples` (records only ever append).
+    #[serde(skip)]
+    sorted: RefCell<Vec<f64>>,
+}
+
+impl PartialEq for Distribution {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
 }
 
 impl Distribution {
@@ -142,19 +155,44 @@ impl Distribution {
     #[must_use]
     pub fn summary(&self) -> Summary {
         assert!(!self.samples.is_empty(), "summary of empty distribution");
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
-        let n = sorted.len();
-        let mean = sorted.iter().sum::<f64>() / n as f64;
-        Summary {
-            count: n,
-            min: sorted[0],
-            q1: quantile(&sorted, 0.25),
-            median: quantile(&sorted, 0.5),
-            q3: quantile(&sorted, 0.75),
-            max: sorted[n - 1],
-            mean,
+        self.with_sorted(|sorted| {
+            let n = sorted.len();
+            let mean = sorted.iter().sum::<f64>() / n as f64;
+            Summary {
+                count: n,
+                min: sorted[0],
+                q1: quantile(sorted, 0.25),
+                median: quantile(sorted, 0.5),
+                q3: quantile(sorted, 0.75),
+                max: sorted[n - 1],
+                mean,
+            }
+        })
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`, linear interpolation) of the recorded
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "percentile of empty distribution");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        self.with_sorted(|sorted| quantile(sorted, q))
+    }
+
+    /// Runs `f` on the ascending-sorted samples, (re)sorting only when new
+    /// samples were recorded since the cache was last built.
+    fn with_sorted<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.samples.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
         }
+        f(&sorted)
     }
 }
 
@@ -286,6 +324,41 @@ mod tests {
     fn display_is_nonempty() {
         let d: Distribution = [0.25, 0.5].into_iter().collect();
         assert!(!d.summary().to_string().is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let d: Distribution = (1..=5).map(f64::from).collect();
+        assert_eq!(d.percentile(0.0), 1.0);
+        assert_eq!(d.percentile(0.5), 3.0);
+        assert_eq!(d.percentile(0.95), 4.8);
+        assert_eq!(d.percentile(1.0), 5.0);
+    }
+
+    #[test]
+    fn sorted_cache_tracks_new_records() {
+        let mut d: Distribution = [3.0, 1.0].into_iter().collect();
+        assert_eq!(d.summary().max, 3.0); // builds the cache
+        d.record(10.0); // invalidates it (length mismatch)
+        assert_eq!(d.summary().max, 10.0);
+        assert_eq!(d.percentile(0.5), 3.0);
+        // Raw sample order is unaffected by the cache.
+        assert_eq!(d.samples(), &[3.0, 1.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_rejects_bad_quantile() {
+        let d: Distribution = [1.0].into_iter().collect();
+        let _ = d.percentile(1.5);
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let a: Distribution = [2.0, 1.0].into_iter().collect();
+        let b: Distribution = [2.0, 1.0].into_iter().collect();
+        let _ = a.summary(); // a has a warm cache, b does not
+        assert_eq!(a, b);
     }
 
     proptest! {

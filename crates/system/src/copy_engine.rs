@@ -14,8 +14,8 @@
 //! completed (a scoreboard, not a full barrier, so reads and writes
 //! overlap).
 
-use dm_mem::{Addr, AddressRemapper, MemOp, MemRequest, MemorySubsystem, RequesterId};
 use dm_compiler::{CopyPlan, WriteSource};
+use dm_mem::{Addr, AddressRemapper, MemOp, MemRequest, MemorySubsystem, RequesterId};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SystemError;
@@ -84,8 +84,7 @@ impl CopyEngine {
         let mut read_data: Vec<Option<Vec<u8>>> = vec![None; plan.reads.len()];
         // Per-channel pending request: Some(read index) awaiting grant.
         let mut read_pending: Vec<Option<usize>> = vec![None; self.read_ports.len()];
-        let mut write_pending: Vec<Option<(u64, Vec<u8>)>> =
-            vec![None; self.write_ports.len()];
+        let mut write_pending: Vec<Option<(u64, Vec<u8>)>> = vec![None; self.write_ports.len()];
         let mut next_read = 0usize;
         let mut next_write = 0usize;
         let mut writes_done = 0usize;
@@ -236,7 +235,11 @@ mod tests {
         let (mut mem, mut engine) = setup();
         let remap = AddressRemapper::new(mem.scratchpad().config(), fima()).unwrap();
         mem.scratchpad_mut()
-            .host_write(&remap, Addr::ZERO, &[0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17])
+            .host_write(
+                &remap,
+                Addr::ZERO,
+                &[0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17],
+            )
             .unwrap();
         // Interleave bytes of the two source words.
         let gather: Vec<usize> = vec![0, 8, 1, 9, 2, 10, 3, 11];
@@ -248,7 +251,10 @@ mod tests {
             writes: vec![(512, WriteSource::Gather(gather))],
         };
         engine.run(&mut mem, &plan).unwrap();
-        let out = mem.scratchpad().host_read(&remap, Addr::new(512), 8).unwrap();
+        let out = mem
+            .scratchpad()
+            .host_read(&remap, Addr::new(512), 8)
+            .unwrap();
         assert_eq!(out, vec![0, 10, 1, 11, 2, 12, 3, 13]);
     }
 
@@ -264,12 +270,17 @@ mod tests {
             read_mode: fima(),
             write_mode: fima(),
             reads: vec![0],
-            writes: (0..16).map(|i| (256 + i * 8, WriteSource::Word(0))).collect(),
+            writes: (0..16)
+                .map(|i| (256 + i * 8, WriteSource::Word(0)))
+                .collect(),
         };
         let stats = engine.run(&mut mem, &plan).unwrap();
         assert_eq!(stats.words_read, 1);
         assert_eq!(stats.words_written, 16);
-        let out = mem.scratchpad().host_read(&remap, Addr::new(256), 128).unwrap();
+        let out = mem
+            .scratchpad()
+            .host_read(&remap, Addr::new(256), 128)
+            .unwrap();
         assert_eq!(out, vec![9; 128]);
     }
 
@@ -321,7 +332,9 @@ mod tests {
             read_mode: nima,
             write_mode: nima,
             reads: (0..8u64).map(|i| i * 8).collect(),
-            writes: (0..8).map(|i| (256 + i * 8, WriteSource::Word(i as usize))).collect(),
+            writes: (0..8)
+                .map(|i| (256 + i * 8, WriteSource::Word(i as usize)))
+                .collect(),
         };
         let stats = engine.run(&mut mem, &plan).unwrap();
         // 16 single-bank operations need at least 16 cycles.

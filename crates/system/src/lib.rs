@@ -163,13 +163,9 @@ mod tests {
 
         let cfg = small_system();
         let data = WorkloadData::generate(GemmSpec::new(32, 32, 32).into(), 30);
-        let program = compile_gemm_private_banks(
-            &data,
-            &cfg.features,
-            &cfg.mem,
-            BufferDepths::default(),
-        )
-        .unwrap();
+        let program =
+            compile_gemm_private_banks(&data, &cfg.features, &cfg.mem, BufferDepths::default())
+                .unwrap();
         let report = run_compiled(&cfg, &data, &program).unwrap();
         assert!(report.checked, "sliced output verified");
         assert_eq!(report.conflicts, 0, "private banks never conflict");
@@ -184,7 +180,10 @@ mod tests {
             report.compute_cycles,
             report.active_cycles + report.stalls.total()
         );
-        assert_eq!(report.total_cycles(), report.prepass_cycles + report.compute_cycles);
+        assert_eq!(
+            report.total_cycles(),
+            report.prepass_cycles + report.compute_cycles
+        );
         assert!(report.utilization() <= 1.0 + 1e-9);
         assert!(report.accesses() > 0);
     }

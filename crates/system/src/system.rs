@@ -6,6 +6,10 @@ use datamaestro::{ReadStreamer, StreamerStats, WriteStreamer};
 use dm_accel::{GemmArrayConfig, GemmDatapath, Quantizer};
 use dm_compiler::{compile, BufferDepths, CompiledWorkload, FeatureSet};
 use dm_mem::{Addr, AddressRemapper, MemConfig, MemorySubsystem};
+use dm_sim::{
+    Instrumented, MetricsRegistry, Port, StallAttribution, StallCause, Trace, TraceEventKind,
+    TraceMode,
+};
 use dm_workloads::{Workload, WorkloadData};
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +35,9 @@ pub struct SystemConfig {
     /// Scratchpad bank read latency in cycles (≥ 1). The DAE architecture's
     /// whole point is tolerating this; see the latency sweep bench.
     pub read_latency: u64,
+    /// Event-trace capture for this run ([`TraceMode::Off`] by default;
+    /// tracing never affects simulated behaviour, only the report).
+    pub trace: TraceMode,
 }
 
 impl Default for SystemConfig {
@@ -45,6 +52,7 @@ impl Default for SystemConfig {
             quantized: true,
             check_output: true,
             read_latency: 1,
+            trace: TraceMode::Off,
         }
     }
 }
@@ -108,6 +116,15 @@ pub struct RunReport {
     pub per_bank_accesses: Vec<u64>,
     /// Whether the output was verified against the golden reference.
     pub checked: bool,
+    /// Classification of every compute-phase cycle: fired or stalled, with
+    /// the stall cause taxonomy (`fired + stalled == compute_cycles`).
+    pub attribution: StallAttribution,
+    /// Snapshot of every instrumented component's metrics, keyed by dotted
+    /// component path (`mem.conflicts`, `streamer.A.ch0.granted`, …).
+    pub metrics: MetricsRegistry,
+    /// Captured event traces, one per component track, in Perfetto track
+    /// order. Empty when [`SystemConfig::trace`] is [`TraceMode::Off`].
+    pub traces: Vec<(String, Trace)>,
 }
 
 impl RunReport {
@@ -172,7 +189,11 @@ pub fn run_compiled(
     program: &CompiledWorkload,
 ) -> Result<RunReport, SystemError> {
     assert_eq!(
-        (config.array.m_unroll, config.array.n_unroll, config.array.k_unroll),
+        (
+            config.array.m_unroll,
+            config.array.n_unroll,
+            config.array.k_unroll
+        ),
         (8, 8, 8),
         "the compiler targets the paper's 8x8x8 array"
     );
@@ -183,6 +204,14 @@ pub fn run_compiled(
     let mut b = ReadStreamer::new(&program.b.design, &program.b.runtime, &mut mem)?;
     let mut c = ReadStreamer::new(&program.c.design, &program.c.runtime, &mut mem)?;
     let mut out = WriteStreamer::new(&program.out.design, &program.out.runtime, &mut mem)?;
+    let mut sys_trace = config.trace.build();
+    if config.trace != TraceMode::Off {
+        mem.set_trace_mode(config.trace);
+        a.set_trace_mode(config.trace);
+        b.set_trace_mode(config.trace);
+        c.set_trace_mode(config.trace);
+        out.set_trace_mode(config.trace);
+    }
 
     // Response routing table: requester index → consuming reader.
     #[derive(Clone, Copy, PartialEq)]
@@ -214,8 +243,20 @@ pub fn run_compiled(
     // Explicit pre-passes.
     let mut prepass_cycles = 0u64;
     for plan in &program.prepasses {
+        sys_trace.emit_with(mem.cycle(), "system", || TraceEventKind::SpanBegin {
+            name: format!("prepass:{}", plan.name),
+        });
+        if plan.read_mode != plan.write_mode {
+            sys_trace.emit_with(mem.cycle(), "system", || TraceEventKind::RemapModeSwitch {
+                from: plan.read_mode.name().to_owned(),
+                to: plan.write_mode.name().to_owned(),
+            });
+        }
         let stats = copier.run(&mut mem, plan)?;
         prepass_cycles += stats.cycles;
+        sys_trace.emit_with(mem.cycle(), "system", || TraceEventKind::SpanEnd {
+            name: format!("prepass:{}", plan.name),
+        });
     }
 
     // Compute phase.
@@ -226,11 +267,15 @@ pub fn run_compiled(
         program.rescale,
     );
     let mut stalls = StallBreakdown::default();
+    let mut attribution = StallAttribution::new();
     let mut compute_cycles = 0u64;
     let mut active_cycles = 0u64;
     let mut tiles_done = 0u64;
     let budget = program.total_steps() * 64 + 100_000;
 
+    sys_trace.emit_with(mem.cycle(), "system", || TraceEventKind::SpanBegin {
+        name: "compute".to_owned(),
+    });
     while !(a.is_done() && b.is_done() && c.is_done() && out.is_done()) {
         a.begin_cycle();
         b.begin_cycle();
@@ -247,22 +292,50 @@ pub fn run_compiled(
         // and the output port is ready (on tile-completing steps).
         let needs_c = datapath.needs_c();
         let produces = datapath.produces_d();
+        let now = mem.cycle();
+        // Once every compute step has fired, remaining cycles only flush the
+        // write path: the input FIFOs are legitimately empty, not starved.
+        let drained = active_cycles == program.total_steps();
+        let operand_cause = |blocked: &ReadStreamer, port: Port| {
+            if drained {
+                StallCause::Drain
+            } else if blocked.lost_arbitration() {
+                StallCause::BankConflict(port)
+            } else {
+                StallCause::NoOperand(port)
+            }
+        };
+        let mut cause = None;
         let fire = if !a.can_pop_wide() {
             stalls.a += 1;
+            cause = Some(operand_cause(&a, Port::A));
+            a.note_consumer_blocked(now);
             false
         } else if !b.can_pop_wide() {
             stalls.b += 1;
+            cause = Some(operand_cause(&b, Port::B));
+            b.note_consumer_blocked(now);
             false
         } else if needs_c && !c.can_pop_wide() {
             stalls.c += 1;
+            cause = Some(operand_cause(&c, Port::C));
+            c.note_consumer_blocked(now);
             false
         } else if produces && !out.can_push_wide() {
             stalls.out += 1;
+            cause = Some(if drained {
+                StallCause::Drain
+            } else {
+                StallCause::WritebackBackpressure
+            });
+            out.note_producer_blocked(now);
             false
         } else {
             true
         };
         if fire {
+            attribution.record_fire();
+            sys_trace.emit(now, "pe", TraceEventKind::PeFire);
             let a_word = a.pop_wide();
             let b_word = b.pop_wide();
             let c_word = needs_c.then(|| c.pop_wide());
@@ -276,6 +349,10 @@ pub fn run_compiled(
                 tiles_done += 1;
             }
             active_cycles += 1;
+        } else {
+            let cause = cause.expect("every non-firing cycle has a stall cause");
+            attribution.record_stall(cause);
+            sys_trace.emit(now, "pe", TraceEventKind::PeStall { cause });
         }
         a.generate_and_issue(&mut mem);
         b.generate_and_issue(&mut mem);
@@ -287,6 +364,11 @@ pub fn run_compiled(
         c.handle_grants(&grants);
         out.handle_grants(&grants);
         compute_cycles += 1;
+        debug_assert_eq!(
+            attribution.total_cycles(),
+            compute_cycles,
+            "stall attribution must classify every compute cycle"
+        );
         if compute_cycles > budget {
             return Err(SystemError::Deadlock {
                 phase: "compute",
@@ -294,8 +376,21 @@ pub fn run_compiled(
             });
         }
     }
+    sys_trace.emit_with(mem.cycle(), "system", || TraceEventKind::SpanEnd {
+        name: "compute".to_owned(),
+    });
     debug_assert_eq!(tiles_done, program.total_output_tiles);
     debug_assert_eq!(active_cycles, program.total_steps());
+    assert_eq!(
+        attribution.fired(),
+        active_cycles,
+        "attributed fires must match active cycles"
+    );
+    assert_eq!(
+        attribution.total_cycles(),
+        compute_cycles,
+        "fired + attributed stalls must cover every compute cycle"
+    );
 
     // Golden verification.
     let mut checked = false;
@@ -325,9 +420,7 @@ pub fn run_compiled(
                     Addr::new(region.base),
                     region.len as usize,
                 )?;
-                if let Some(first_diff) =
-                    got.iter().zip(expected).position(|(g, e)| g != e)
-                {
+                if let Some(first_diff) = got.iter().zip(expected).position(|(g, e)| g != e) {
                     return Err(SystemError::OutputMismatch {
                         first_diff,
                         expected: expected[first_diff],
@@ -339,6 +432,62 @@ pub fn run_compiled(
         checked = true;
     }
 
+    let total_cycles = prepass_cycles + compute_cycles;
+    let collect = |registry: &mut MetricsRegistry| {
+        registry.with_scope("system", |r| {
+            r.set_counter("ideal_cycles", program.total_steps());
+            r.set_counter("prepass_cycles", prepass_cycles);
+            r.set_counter("compute_cycles", compute_cycles);
+            r.set_counter("active_cycles", active_cycles);
+            r.set_counter("tiles", tiles_done);
+            if total_cycles > 0 {
+                r.set_gauge(
+                    "utilization",
+                    program.total_steps() as f64 / total_cycles as f64,
+                );
+            }
+            r.with_scope("stall", |r| {
+                r.set_counter("fired", attribution.fired());
+                for cause in StallCause::ALL {
+                    r.set_counter(cause.label(), attribution.count(cause));
+                }
+            });
+        });
+        registry.with_scope("mem", |r| mem.register_metrics(r));
+        registry.with_scope("streamer", |r| {
+            r.with_scope("A", |r| a.register_metrics(r));
+            r.with_scope("B", |r| b.register_metrics(r));
+            r.with_scope("C", |r| c.register_metrics(r));
+            r.with_scope("OUT", |r| out.register_metrics(r));
+        });
+    };
+    let mut metrics = MetricsRegistry::new();
+    collect(&mut metrics);
+    #[cfg(debug_assertions)]
+    {
+        // Collecting a snapshot must be a pure read: a second pass over the
+        // same quiesced system yields an identical registry.
+        let mut second = MetricsRegistry::new();
+        collect(&mut second);
+        assert_eq!(
+            metrics, second,
+            "metric snapshots must be deterministic and side-effect free"
+        );
+    }
+
+    let traces = if config.trace == TraceMode::Off {
+        Vec::new()
+    } else {
+        vec![
+            ("system".to_owned(), sys_trace),
+            ("mem".to_owned(), mem.take_trace()),
+            ("streamer-A".to_owned(), a.take_trace()),
+            ("streamer-B".to_owned(), b.take_trace()),
+            ("streamer-C".to_owned(), c.take_trace()),
+            ("streamer-OUT".to_owned(), out.take_trace()),
+        ]
+    };
+
     let stats = mem.stats();
     Ok(RunReport {
         workload: program.workload,
@@ -348,11 +497,14 @@ pub fn run_compiled(
         compute_cycles,
         active_cycles,
         stalls,
+        attribution,
         mem_reads: stats.reads.get(),
         mem_writes: stats.writes.get(),
         conflicts: stats.conflicts.get(),
         streamer_stats: [*a.stats(), *b.stats(), *c.stats(), *out.stats()],
         per_bank_accesses: mem.per_bank_accesses().to_vec(),
+        metrics,
+        traces,
         checked,
     })
 }

@@ -91,15 +91,10 @@ impl WorkloadData {
     pub fn expected_e(&self) -> Vec<i8> {
         let d = self.expected_d();
         match self.workload {
-            Workload::Gemm(g) => {
-                quantize_ref(&d, &vec![self.rescale; g.n], g.m, g.n)
+            Workload::Gemm(g) => quantize_ref(&d, &vec![self.rescale; g.n], g.m, g.n),
+            Workload::Conv(c) => {
+                quantize_ref(&d, &vec![self.rescale; c.c_out], c.oh() * c.ow(), c.c_out)
             }
-            Workload::Conv(c) => quantize_ref(
-                &d,
-                &vec![self.rescale; c.c_out],
-                c.oh() * c.ow(),
-                c.c_out,
-            ),
         }
     }
 }
@@ -143,10 +138,7 @@ mod tests {
     fn rescale_keeps_outputs_unsaturated_typically() {
         let d = WorkloadData::generate(GemmSpec::new(16, 16, 64).into(), 3);
         let e = d.expected_e();
-        let saturated = e
-            .iter()
-            .filter(|&&v| v == i8::MIN || v == i8::MAX)
-            .count();
+        let saturated = e.iter().filter(|&&v| v == i8::MIN || v == i8::MAX).count();
         assert!(
             saturated < e.len() / 4,
             "{saturated}/{} outputs saturated",

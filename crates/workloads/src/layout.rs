@@ -57,7 +57,10 @@ pub fn pack_gemm_b(b: &[i8], k: usize, n: usize) -> Vec<u8> {
 #[must_use]
 pub fn pack_gemm_cd(values: &[i32], m: usize, n: usize) -> Vec<u8> {
     assert_eq!(values.len(), m * n, "matrix length");
-    assert!(m.is_multiple_of(TILE) && n.is_multiple_of(TILE), "dimensions must be tiled");
+    assert!(
+        m.is_multiple_of(TILE) && n.is_multiple_of(TILE),
+        "dimensions must be tiled"
+    );
     let (mt, nt) = (m / TILE, n / TILE);
     let mut out = vec![0u8; m * n * 4];
     for bm in 0..mt {
@@ -155,7 +158,10 @@ pub fn pack_conv_weights(
     c_in: usize,
 ) -> Vec<u8> {
     assert_eq!(weights.len(), c_out * kh * kw * c_in, "weight length");
-    assert!(c_out.is_multiple_of(TILE) && c_in.is_multiple_of(TILE), "channel tiling");
+    assert!(
+        c_out.is_multiple_of(TILE) && c_in.is_multiple_of(TILE),
+        "channel tiling"
+    );
     let (cot, cit) = (c_out / TILE, c_in / TILE);
     let mut out = vec![0u8; weights.len()];
     for co_t in 0..cot {

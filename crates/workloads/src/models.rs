@@ -193,8 +193,16 @@ pub fn vit_base_16() -> Model {
         // Patch embedding: 196 patches × (16·16·3 = 768) → hidden.
         Layer::new("patch-embed", GemmSpec::new(seq, hidden, 768), 1),
         Layer::new("qkv-proj", GemmSpec::new(seq, 3 * hidden, hidden), 12),
-        Layer::new("attn-scores", GemmSpec::new(seq, seq, head_dim), 12 * heads as u32),
-        Layer::new("attn-context", GemmSpec::new(seq, head_dim, seq), 12 * heads as u32),
+        Layer::new(
+            "attn-scores",
+            GemmSpec::new(seq, seq, head_dim),
+            12 * heads as u32,
+        ),
+        Layer::new(
+            "attn-context",
+            GemmSpec::new(seq, head_dim, seq),
+            12 * heads as u32,
+        ),
         Layer::new("attn-out", GemmSpec::new(seq, hidden, hidden), 12),
         Layer::new("mlp-up", GemmSpec::new(seq, mlp, hidden), 12),
         Layer::new("mlp-down", GemmSpec::new(seq, hidden, mlp), 12),
@@ -217,8 +225,16 @@ pub fn bert_base() -> Model {
     let ffn = 3072;
     let layers = vec![
         Layer::new("qkv-proj", GemmSpec::new(seq, 3 * hidden, hidden), 12),
-        Layer::new("attn-scores", GemmSpec::new(seq, seq, head_dim), 12 * heads as u32),
-        Layer::new("attn-context", GemmSpec::new(seq, head_dim, seq), 12 * heads as u32),
+        Layer::new(
+            "attn-scores",
+            GemmSpec::new(seq, seq, head_dim),
+            12 * heads as u32,
+        ),
+        Layer::new(
+            "attn-context",
+            GemmSpec::new(seq, head_dim, seq),
+            12 * heads as u32,
+        ),
         Layer::new("attn-out", GemmSpec::new(seq, hidden, hidden), 12),
         Layer::new("ffn-up", GemmSpec::new(seq, ffn, hidden), 12),
         Layer::new("ffn-down", GemmSpec::new(seq, hidden, ffn), 12),

@@ -44,7 +44,10 @@ impl GemmSpec {
     #[must_use]
     pub fn new(m: usize, n: usize, k: usize) -> Self {
         for (name, v) in [("m", m), ("n", n), ("k", k)] {
-            assert!(v > 0 && v % TILE == 0, "{name}={v} must be a positive multiple of {TILE}");
+            assert!(
+                v > 0 && v % TILE == 0,
+                "{name}={v} must be a positive multiple of {TILE}"
+            );
         }
         GemmSpec {
             m,
@@ -143,8 +146,14 @@ impl ConvSpec {
         kw: usize,
         stride: usize,
     ) -> Self {
-        assert!(c_in > 0 && c_in.is_multiple_of(TILE), "c_in must be a multiple of {TILE}");
-        assert!(c_out > 0 && c_out.is_multiple_of(TILE), "c_out must be a multiple of {TILE}");
+        assert!(
+            c_in > 0 && c_in.is_multiple_of(TILE),
+            "c_in must be a multiple of {TILE}"
+        );
+        assert!(
+            c_out > 0 && c_out.is_multiple_of(TILE),
+            "c_out must be a multiple of {TILE}"
+        );
         assert!(stride > 0, "stride must be non-zero");
         assert!(kh > 0 && kw > 0, "kernel must be non-empty");
         assert!(h >= kh && w >= kw, "kernel larger than input");
@@ -199,7 +208,9 @@ impl ConvSpec {
     /// M = 8 output pixels, N = 8 output channels, K = 8 input channels).
     #[must_use]
     pub fn ideal_cycles(&self) -> u64 {
-        (self.oh() * self.ow() / TILE * (self.c_out / TILE) * (self.c_in / TILE)
+        (self.oh() * self.ow() / TILE
+            * (self.c_out / TILE)
+            * (self.c_in / TILE)
             * self.kh
             * self.kw) as u64
     }
@@ -256,7 +267,10 @@ impl PoolSpec {
         // Pooling maps onto the same pixel-tile machinery as convolution;
         // reuse its validation via an equivalent conv geometry.
         let _ = ConvSpec::new(h, w, c.max(TILE), c.max(TILE), k, k, stride);
-        assert!(c > 0 && c.is_multiple_of(TILE), "channels must be a multiple of {TILE}");
+        assert!(
+            c > 0 && c.is_multiple_of(TILE),
+            "channels must be a multiple of {TILE}"
+        );
         PoolSpec { h, w, c, k, stride }
     }
 

@@ -77,7 +77,7 @@ pub fn synthetic_suite() -> Vec<Workload> {
         } else {
             kernel_choices[rng.gen_range(0..kernel_choices.len())]
         };
-        let out_plane = [8usize, 16, 24, 32][rng.gen_range(0..4)];
+        let out_plane = [8usize, 16, 24, 32][rng.gen_range(0..4usize)];
         // The smallest padded input producing exactly `out_plane`, rounded
         // up to even like real (padded) feature maps; the flooring output
         // formula keeps the plane size unchanged.
@@ -126,7 +126,11 @@ mod tests {
         let suite = synthetic_suite();
         let distinct: std::collections::HashSet<String> =
             suite.iter().map(ToString::to_string).collect();
-        assert!(distinct.len() > 150, "only {} distinct shapes", distinct.len());
+        assert!(
+            distinct.len() > 150,
+            "only {} distinct shapes",
+            distinct.len()
+        );
     }
 
     #[test]

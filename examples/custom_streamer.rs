@@ -21,7 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Host-side preload: a 16×16 byte matrix, row-major, value = r*16 + c.
     let view = AddressRemapper::new(&mem_cfg, AddressingMode::FullyInterleaved)?;
     let matrix: Vec<u8> = (0..256).map(|i| i as u8).collect();
-    mem.scratchpad_mut().host_write(&view, Addr::ZERO, &matrix)?;
+    mem.scratchpad_mut()
+        .host_write(&view, Addr::ZERO, &matrix)?;
 
     // Design time: a 4-channel reader with a 2-D temporal AGU.
     let design = DesignConfig::builder("stencil", StreamerMode::Read)

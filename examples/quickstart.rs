@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("workload            : {}", report.workload);
     println!("ideal cycles        : {}", report.ideal_cycles);
     println!("simulated cycles    : {}", report.total_cycles());
-    println!("utilization         : {:.2} %", 100.0 * report.utilization());
+    println!(
+        "utilization         : {:.2} %",
+        100.0 * report.utilization()
+    );
     println!("memory reads        : {} words", report.mem_reads);
     println!("memory writes       : {} words", report.mem_writes);
     println!("bank conflicts      : {}", report.conflicts);

@@ -15,7 +15,10 @@ use datamaestro_repro::workloads::{ConvSpec, WorkloadData};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layers = [
-        ("3x3/2 conv (56->28)", ConvSpec::new(58, 58, 64, 128, 3, 3, 2)),
+        (
+            "3x3/2 conv (56->28)",
+            ConvSpec::new(58, 58, 64, 128, 3, 3, 2),
+        ),
         ("1x1/2 shortcut", ConvSpec::new(56, 56, 64, 128, 1, 1, 2)),
         ("3x3 conv (28x28)", ConvSpec::new(30, 30, 128, 128, 3, 3, 1)),
     ];

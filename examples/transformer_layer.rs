@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sublayers: [(&str, GemmSpec, u64); 6] = [
         ("QKV projection", GemmSpec::new(seq, 3 * hidden, hidden), 1),
         ("attention scores", GemmSpec::new(seq, seq, head_dim), heads),
-        ("attention context", GemmSpec::new(seq, head_dim, seq), heads),
+        (
+            "attention context",
+            GemmSpec::new(seq, head_dim, seq),
+            heads,
+        ),
         ("output projection", GemmSpec::new(seq, hidden, hidden), 1),
         ("FFN up", GemmSpec::new(seq, ffn, hidden), 1),
         ("FFN down", GemmSpec::new(seq, hidden, ffn), 1),

@@ -32,6 +32,7 @@
 //! # Ok::<(), datamaestro_repro::system::SystemError>(())
 //! ```
 
+pub use datamaestro as streamer;
 pub use dm_accel as accel;
 pub use dm_baselines as baselines;
 pub use dm_compiler as compiler;
@@ -40,4 +41,3 @@ pub use dm_mem as mem;
 pub use dm_sim as sim;
 pub use dm_system as system;
 pub use dm_workloads as workloads;
-pub use datamaestro as streamer;

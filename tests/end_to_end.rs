@@ -29,8 +29,7 @@ fn zoo_verifies_on_the_full_system() {
     let cfg = SystemConfig::default();
     for (i, workload) in workload_zoo().into_iter().enumerate() {
         let data = WorkloadData::generate(workload, 100 + i as u64);
-        let report = run_workload(&cfg, &data)
-            .unwrap_or_else(|e| panic!("{workload}: {e}"));
+        let report = run_workload(&cfg, &data).unwrap_or_else(|e| panic!("{workload}: {e}"));
         assert!(report.checked, "{workload}");
         assert!(report.utilization() > 0.3, "{workload}");
     }
@@ -57,8 +56,7 @@ fn zoo_verifies_without_quantization() {
     };
     for (i, workload) in workload_zoo().into_iter().enumerate() {
         let data = WorkloadData::generate(workload, 300 + i as u64);
-        let report = run_workload(&cfg, &data)
-            .unwrap_or_else(|e| panic!("{workload}: {e}"));
+        let report = run_workload(&cfg, &data).unwrap_or_else(|e| panic!("{workload}: {e}"));
         assert!(report.checked, "{workload}");
     }
 }

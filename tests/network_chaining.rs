@@ -51,8 +51,16 @@ fn three_layer_conv_chain_matches_chained_golden() {
         for (spec, seed) in [(l1, 1u64), (l2, 2), (l3, 3)] {
             let data = WorkloadData::generate(spec.into(), seed);
             let d = conv2d_ref(
-                &acts, &data.b, &data.bias, spec.h, spec.w, spec.c_in, spec.c_out, spec.kh,
-                spec.kw, spec.stride,
+                &acts,
+                &data.b,
+                &data.bias,
+                spec.h,
+                spec.w,
+                spec.c_in,
+                spec.c_out,
+                spec.kh,
+                spec.kw,
+                spec.stride,
             );
             acts = quantize_ref(
                 &d,
@@ -63,7 +71,10 @@ fn three_layer_conv_chain_matches_chained_golden() {
         }
         acts
     };
-    assert_eq!(out3, golden, "three simulated layers match the golden chain");
+    assert_eq!(
+        out3, golden,
+        "three simulated layers match the golden chain"
+    );
 }
 
 #[test]
@@ -124,5 +135,9 @@ fn identity_rescale_preserves_small_values_through_a_layer() {
     data.a = (0..8 * 8 * 8).map(|i| (i % 100) as i8 - 50).collect();
     let report = run_workload(&SystemConfig::default(), &data).expect("runs");
     assert!(report.checked);
-    assert_eq!(data.expected_e(), data.a, "identity layer passes data through");
+    assert_eq!(
+        data.expected_e(),
+        data.a,
+        "identity layer passes data through"
+    );
 }

@@ -110,7 +110,11 @@ fn mode_switching_story() {
         "strided 1x1 shortcut: {:.3}",
         r.utilization()
     );
-    assert!(r.conflicts > 1000, "conflicts are structural, got {}", r.conflicts);
+    assert!(
+        r.conflicts > 1000,
+        "conflicts are structural, got {}",
+        r.conflicts
+    );
 }
 
 /// Fig. 10: DataMaestro beats every baseline on every representative
@@ -120,7 +124,10 @@ fn fig10_gains_in_paper_regime() {
     let kernels: Vec<(&str, Workload)> = vec![
         ("gemm-big", GemmSpec::new(128, 768, 768).into()),
         ("conv-stem", ConvSpec::new(58, 58, 8, 64, 3, 3, 1).into()),
-        ("conv-shortcut", ConvSpec::new(56, 56, 64, 128, 1, 1, 2).into()),
+        (
+            "conv-shortcut",
+            ConvSpec::new(56, 56, 64, 128, 1, 1, 2).into(),
+        ),
     ];
     let mut min_gain = f64::MAX;
     let mut max_gain = 0.0f64;
@@ -166,7 +173,11 @@ fn cost_model_matches_paper_regime() {
         cycles: report.total_cycles(),
     };
     let power = power_breakdown(&events, &EnergyModel::default(), 1e9);
-    assert!((250.0..420.0).contains(&power.total_mw()), "{}", power.total_mw());
+    assert!(
+        (250.0..420.0).contains(&power.total_mw()),
+        "{}",
+        power.total_mw()
+    );
     let share = power.share_pct(power.datamaestros_mw);
     assert!((10.0..20.0).contains(&share), "power share {share:.2}");
 }
