@@ -6,16 +6,30 @@
 //! representative kernel; the baselines use the mechanism-based analytic
 //! models of `dm-baselines` (see that crate's documentation). All systems
 //! are normalized to 512 PEs at 1 GHz, as in the paper.
+//!
+//! Pass `--quick` to simulate every other kernel only, `--metrics-out
+//! <path>` to dump one JSONL metrics snapshot per kernel, and `--trace-out
+//! <path>` to capture a Perfetto trace of the first kernel.
 
 use dm_baselines::{data_movement_costs, normalized_throughput_tops, utilization, Baseline};
 use dm_cost::area::system_area;
 use dm_cost::energy::power_breakdown;
 use dm_cost::{EnergyEvents, EnergyModel, EvaluationSystemSpec, UnitAreas};
+use dm_sim::TraceMode;
 use dm_system::SystemConfig;
 use dm_workloads::GemmSpec;
 
 fn main() {
-    let kernels = dm_bench::representative_kernels();
+    let args = dm_bench::parse_args();
+    let mut metrics_log = dm_bench::MetricsLog::create(args.metrics_out.as_deref())
+        .unwrap_or_else(|e| panic!("opening metrics log: {e}"));
+    let mut trace_pending = args.trace_out.as_deref();
+    let kernels: Vec<_> = dm_bench::representative_kernels()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !args.quick || i % 2 == 0)
+        .map(|(_, k)| k)
+        .collect();
     let cfg = SystemConfig::default();
 
     println!("Fig. 10 (left): normalized throughput in TOPS (512 PEs @ 1 GHz)");
@@ -27,8 +41,22 @@ fn main() {
     let mut min_gain = f64::MAX;
     let mut max_gain = 0.0f64;
     for (i, (name, workload)) in kernels.iter().enumerate() {
-        let report =
-            dm_bench::measure(&cfg, *workload, i as u64).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut kernel_cfg = cfg;
+        let traced = trace_pending.is_some();
+        if traced {
+            kernel_cfg.trace = TraceMode::Full;
+        }
+        let report = dm_bench::measure(&kernel_cfg, *workload, i as u64)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        if let Some(path) = trace_pending.filter(|_| traced) {
+            dm_bench::write_trace(path, &report.traces)
+                .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+            eprintln!("  wrote Perfetto trace of '{name}' to {path}");
+            trace_pending = None;
+        }
+        metrics_log
+            .record(name, &report)
+            .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
         let ours = normalized_throughput_tops(report.utilization());
         let mut row = format!("{name:<22} {ours:>9.3}");
         let mut kernel_min = f64::MAX;
@@ -70,6 +98,9 @@ fn main() {
     let spec = EvaluationSystemSpec::paper();
     let areas = system_area(&spec, &UnitAreas::default());
     let report = dm_bench::measure(&cfg, GemmSpec::new(64, 64, 64).into(), 0).expect("GeMM-64");
+    metrics_log
+        .record("GeMM-64|cost-model", &report)
+        .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
     let events = EnergyEvents {
         sram_reads: report.mem_reads,
         sram_writes: report.mem_writes,
@@ -90,4 +121,7 @@ fn main() {
         areas.share_pct(areas.datamaestro_total()),
         power.share_pct(power.datamaestros_mw)
     );
+    metrics_log
+        .finish()
+        .unwrap_or_else(|e| panic!("flushing metrics log: {e}"));
 }

@@ -1,10 +1,15 @@
 //! Regenerates Fig. 8: FPGA resource utilization of the evaluation system
 //! (structural LUT/FF estimate standing in for the VPK180 implementation;
 //! see DESIGN.md §3 for the substitution rationale).
+//!
+//! Accepts the shared bench flags for uniformity; this binary is analytic
+//! (no simulated runs), so `--metrics-out` writes an empty log and
+//! `--trace-out` is a no-op.
 
 use dm_cost::{fpga::fpga_report, EvaluationSystemSpec};
 
 fn main() {
+    dm_bench::note_analytic_only(&dm_bench::parse_args());
     let spec = EvaluationSystemSpec::paper();
     let report = fpga_report(&spec);
     let total = report.total();

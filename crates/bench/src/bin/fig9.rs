@@ -5,14 +5,22 @@
 //! Areas come from the structural model in `dm-cost`; the power breakdown
 //! multiplies per-event energies by activity counts measured by the cycle
 //! simulator on the actual GeMM-64 run.
+//!
+//! Pass `--metrics-out <path>` to dump the GeMM-64 run's metrics snapshot
+//! and `--trace-out <path>` to capture its Perfetto trace (`--quick` is
+//! accepted for uniformity; the single simulated run is already fast).
 
 use dm_cost::area::system_area;
 use dm_cost::energy::power_breakdown;
 use dm_cost::{EnergyEvents, EnergyModel, EvaluationSystemSpec, UnitAreas};
+use dm_sim::TraceMode;
 use dm_system::SystemConfig;
 use dm_workloads::GemmSpec;
 
 fn main() {
+    let args = dm_bench::parse_args();
+    let mut metrics_log = dm_bench::MetricsLog::create(args.metrics_out.as_deref())
+        .unwrap_or_else(|e| panic!("opening metrics log: {e}"));
     let spec = EvaluationSystemSpec::paper();
     let areas = system_area(&spec, &UnitAreas::default());
 
@@ -62,12 +70,23 @@ fn main() {
     }
 
     // --- Fig. 9(c): power while executing GeMM-64 at 1 GHz --------------
-    let report = dm_bench::measure(
-        &SystemConfig::default(),
-        GemmSpec::new(64, 64, 64).into(),
-        9,
-    )
-    .expect("GeMM-64 runs");
+    let mut cfg = SystemConfig::default();
+    if args.trace_out.is_some() {
+        cfg.trace = TraceMode::Full;
+    }
+    let report =
+        dm_bench::measure(&cfg, GemmSpec::new(64, 64, 64).into(), 9).expect("GeMM-64 runs");
+    if let Some(path) = args.trace_out.as_deref() {
+        dm_bench::write_trace(path, &report.traces)
+            .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+        eprintln!("  wrote Perfetto trace of GeMM-64 to {path}");
+    }
+    metrics_log
+        .record("GeMM-64", &report)
+        .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
+    metrics_log
+        .finish()
+        .unwrap_or_else(|e| panic!("flushing metrics log: {e}"));
     let tiles = 64u64;
     let events = EnergyEvents {
         sram_reads: report.mem_reads,

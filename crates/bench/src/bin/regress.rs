@@ -1,0 +1,109 @@
+//! The benchmark regression harness CLI.
+//!
+//! ```text
+//! regress run  [--out <path>] [--full] [--no-host]
+//! regress diff <baseline.json> <new.json> [--threshold <fraction>]
+//! ```
+//!
+//! `run` executes the benchmark suites (Fig. 7 ablation slice + Table III
+//! ResNet-18 by default; everything with `--full`) and writes one canonical
+//! `BENCH_*.json` document. With `--no-host` the document is fully
+//! deterministic — that is how the committed `BENCH_seed.json` baseline is
+//! produced and refreshed.
+//!
+//! `diff` compares two documents and exits non-zero when utilization drops
+//! or p99 latency inflates beyond the tolerance (default 1 %), when the
+//! suite composition drifted, or when provenance fingerprints disagree
+//! (the runs measured different configurations). The `host` section is
+//! never compared.
+
+use dm_bench::regress;
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  regress run  [--out <path>] [--full] [--no-host]");
+    eprintln!("  regress diff <baseline.json> <new.json> [--threshold <fraction>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run(args: &[String]) {
+    let mut out = "BENCH_current.json".to_owned();
+    let mut full = false;
+    let mut with_host = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
+            "--full" => full = true,
+            "--no-host" => with_host = false,
+            _ => usage(),
+        }
+    }
+    let doc = regress::bench_document(full, with_host, |msg| eprintln!("  {msg}"))
+        .unwrap_or_else(|e| panic!("benchmark run failed: {e}"));
+    std::fs::write(&out, doc.to_json()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    let entries: usize = doc
+        .get("suites")
+        .and_then(|s| s.as_object())
+        .map(|suites| {
+            suites
+                .iter()
+                .filter_map(|(_, v)| v.as_array())
+                .map(<[_]>::len)
+                .sum()
+        })
+        .unwrap_or(0);
+    println!("wrote {entries} suite entries to {out}");
+}
+
+fn diff(args: &[String]) {
+    let mut paths = Vec::new();
+    let mut threshold = regress::DEFAULT_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        usage();
+    };
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        dm_sim::JsonValue::parse(&text)
+            .unwrap_or_else(|e| panic!("{path}: malformed JSON: {}", e.message))
+    };
+    let outcome = regress::diff(&load(old_path), &load(new_path), threshold);
+    if outcome.passed() {
+        println!(
+            "OK: {} entries within {:.2}% of {old_path}",
+            outcome.compared,
+            100.0 * threshold
+        );
+    } else {
+        eprintln!(
+            "REGRESSION: {} failure(s) against {old_path} (threshold {:.2}%):",
+            outcome.failures.len(),
+            100.0 * threshold
+        );
+        for failure in &outcome.failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -5,13 +5,24 @@
 //! * addressing-mode selection (FIMA / GIMA group sizes / NIMA-style) on a
 //!   fixed GeMM;
 //! * bank-count scaling of the scratchpad.
+//!
+//! Pass `--quick` to run a reduced set of sweep points, `--metrics-out
+//! <path>` to dump one JSONL metrics snapshot per configuration, and
+//! `--trace-out <path>` to capture a Perfetto trace of the first
+//! (depth-1 FIMA) run.
 
 use dm_compiler::{BufferDepths, FeatureSet};
 use dm_mem::MemConfig;
+use dm_sim::TraceMode;
 use dm_system::SystemConfig;
 use dm_workloads::GemmSpec;
 
 fn main() {
+    let args = dm_bench::parse_args();
+    let quick = args.quick;
+    let mut metrics_log = dm_bench::MetricsLog::create(args.metrics_out.as_deref())
+        .unwrap_or_else(|e| panic!("opening metrics log: {e}"));
+    let mut trace_pending = args.trace_out.as_deref();
     let workload = GemmSpec::new(64, 64, 64).into();
 
     println!("FIFO depth sweep (GeMM-64, FIMA placement — conflicts must be absorbed):");
@@ -20,8 +31,13 @@ fn main() {
         "D_DBf", "utilization", "conflicts", "cycles"
     );
     dm_bench::rule(46);
-    for depth in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = SystemConfig {
+    let depths: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    for &depth in depths {
+        let mut cfg = SystemConfig {
             depths: BufferDepths {
                 data: depth,
                 ..BufferDepths::default()
@@ -30,7 +46,20 @@ fn main() {
             check_output: false,
             ..SystemConfig::default()
         };
+        let traced = trace_pending.is_some();
+        if traced {
+            cfg.trace = TraceMode::Full;
+        }
         let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+        if let Some(path) = trace_pending.filter(|_| traced) {
+            dm_bench::write_trace(path, &r.traces)
+                .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+            eprintln!("  wrote Perfetto trace of depth-{depth} FIMA run to {path}");
+            trace_pending = None;
+        }
+        metrics_log
+            .record(&format!("fifo-depth|{depth}"), &r)
+            .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
         println!(
             "{:<8} {:>11.2}% {:>12} {:>10}",
             depth,
@@ -53,6 +82,9 @@ fn main() {
         }
         .with_features(FeatureSet::ablation_step(step));
         let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+        metrics_log
+            .record(&format!("placement|{name}"), &r)
+            .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
         println!(
             "{:<26} {:>11.2}% {:>12}",
             name,
@@ -100,7 +132,8 @@ fn main() {
         "latency", "prefetch util", "coarse util"
     );
     dm_bench::rule(44);
-    for latency in [1u64, 2, 4, 8] {
+    let latencies: &[u64] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    for &latency in latencies {
         let mut utils = Vec::new();
         for step in [6usize, 1] {
             let cfg = SystemConfig {
@@ -110,6 +143,9 @@ fn main() {
             }
             .with_features(FeatureSet::ablation_step(step));
             let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+            metrics_log
+                .record(&format!("latency|{latency}|step{step}"), &r)
+                .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
             utils.push(r.utilization());
         }
         println!(
@@ -123,7 +159,8 @@ fn main() {
     println!("\nbank-count scaling (GeMM-64, fully featured):");
     println!("{:<8} {:>12} {:>12}", "banks", "utilization", "conflicts");
     dm_bench::rule(34);
-    for banks in [8usize, 16, 32, 64] {
+    let bank_counts: &[usize] = if quick { &[16, 32] } else { &[8, 16, 32, 64] };
+    for &banks in bank_counts {
         let rows = 16 * 1024 * 1024 / (banks * 8);
         let cfg = SystemConfig {
             mem: MemConfig::new(banks, 8, rows.next_power_of_two()).expect("geometry"),
@@ -131,6 +168,9 @@ fn main() {
             ..SystemConfig::default()
         };
         let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+        metrics_log
+            .record(&format!("banks|{banks}"), &r)
+            .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
         println!(
             "{:<8} {:>11.2}% {:>12}",
             banks,
@@ -138,4 +178,7 @@ fn main() {
             r.conflicts
         );
     }
+    metrics_log
+        .finish()
+        .unwrap_or_else(|e| panic!("flushing metrics log: {e}"));
 }

@@ -1,9 +1,14 @@
 //! Regenerates Table I: feature comparison of SotA data-movement solutions
 //! with DataMaestro.
+//!
+//! Accepts the shared bench flags for uniformity; this binary is analytic
+//! (no simulated runs), so `--metrics-out` writes an empty log and
+//! `--trace-out` is a no-op.
 
 use dm_baselines::feature_matrix;
 
 fn main() {
+    dm_bench::note_analytic_only(&dm_bench::parse_args());
     let rows = feature_matrix();
     println!("Table I: comparison of SotA data movement solutions with DataMaestro");
     println!(

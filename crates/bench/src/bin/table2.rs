@@ -1,10 +1,15 @@
 //! Regenerates Table II: design-time parameters and runtime configurations
 //! of DataMaestro, instantiated for the evaluation system's five streamers
 //! (Fig. 6 right).
+//!
+//! Accepts the shared bench flags for uniformity; this binary is analytic
+//! (no simulated runs), so `--metrics-out` writes an empty log and
+//! `--trace-out` is a no-op.
 
 use dm_compiler::{design_a, design_b, design_c, design_d, design_e, BufferDepths, FeatureSet};
 
 fn main() {
+    dm_bench::note_analytic_only(&dm_bench::parse_args());
     println!("Table II: design-time parameters and runtime configurations");
     println!();
     println!("Design-time parameters (per DataMaestro instance):");

@@ -22,6 +22,8 @@ use dm_sim::{perfetto, JsonValue, Trace};
 use dm_system::{run_workload, RunReport, SystemConfig, SystemError};
 use dm_workloads::{Workload, WorkloadData};
 
+pub mod regress;
+
 /// Representative DNN kernels used by the Fig. 10 throughput comparison.
 ///
 /// The mix mirrors the paper's framing: Transformer projection and
@@ -116,6 +118,22 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!("supported options: --quick, --metrics-out <path>, --trace-out <path>");
     std::process::exit(2);
+}
+
+/// Honours the shared CLI contract in analytic-only binaries (no simulated
+/// runs): `--metrics-out` still produces a (necessarily empty) JSONL file
+/// so downstream tooling sees a uniform interface, and `--trace-out` warns
+/// that there is nothing to trace.
+pub fn note_analytic_only(args: &BenchArgs) {
+    if let Some(path) = args.metrics_out.as_deref() {
+        MetricsLog::create(Some(path))
+            .and_then(MetricsLog::finish)
+            .unwrap_or_else(|e| panic!("opening metrics log: {e}"));
+        eprintln!("note: no simulated runs in this binary; wrote empty metrics log to {path}");
+    }
+    if args.trace_out.is_some() {
+        eprintln!("note: --trace-out ignored: no simulated runs in this binary");
+    }
 }
 
 /// Streaming JSONL sink for per-run metric snapshots.

@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 
 use dm_mem::{BankLocation, MemOp, MemRequest, MemResponse, MemorySubsystem, RequesterId};
-use dm_sim::{Counter, Fifo, ReservedSlot};
+use dm_sim::{Counter, Fifo, LatencyHistogram, ReservedSlot};
 use serde::{Deserialize, Serialize};
 
 /// Per-channel event counters.
@@ -39,6 +39,8 @@ pub struct ReadChannel {
     next_tag: u64,
     expected_tag: u64,
     stats: ChannelStats,
+    /// Once-per-cycle samples of committed FIFO occupancy (in words).
+    occupancy: LatencyHistogram,
 }
 
 impl ReadChannel {
@@ -56,6 +58,7 @@ impl ReadChannel {
             next_tag: 0,
             expected_tag: 0,
             stats: ChannelStats::default(),
+            occupancy: LatencyHistogram::new(),
         }
     }
 
@@ -205,6 +208,19 @@ impl ReadChannel {
     pub fn fifo_high_watermark(&self) -> usize {
         self.fifo.high_watermark()
     }
+
+    /// Records one occupancy sample (committed data words, including
+    /// filled-but-blocked slots). The owning streamer calls this once per
+    /// simulated cycle, giving a time-weighted occupancy distribution.
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy.record(self.fifo.committed() as u64);
+    }
+
+    /// The sampled occupancy distribution.
+    #[must_use]
+    pub fn fifo_occupancy(&self) -> &LatencyHistogram {
+        &self.occupancy
+    }
 }
 
 /// A write channel: address/data pairing FIFO plus the write-side MIC.
@@ -215,6 +231,8 @@ pub struct WriteChannel {
     addr_queue: VecDeque<u64>,
     addr_capacity: usize,
     stats: ChannelStats,
+    /// Once-per-cycle samples of FIFO backlog (in words).
+    occupancy: LatencyHistogram,
 }
 
 impl WriteChannel {
@@ -227,6 +245,7 @@ impl WriteChannel {
             addr_queue: VecDeque::with_capacity(addr_depth),
             addr_capacity: addr_depth,
             stats: ChannelStats::default(),
+            occupancy: LatencyHistogram::new(),
         }
     }
 
@@ -336,6 +355,18 @@ impl WriteChannel {
     #[must_use]
     pub fn fifo_high_watermark(&self) -> usize {
         self.fifo.high_watermark()
+    }
+
+    /// Records one occupancy sample (backlog words waiting to drain). The
+    /// owning streamer calls this once per simulated cycle.
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy.record(self.fifo.len() as u64);
+    }
+
+    /// The sampled occupancy distribution.
+    #[must_use]
+    pub fn fifo_occupancy(&self) -> &LatencyHistogram {
+        &self.occupancy
     }
 }
 
@@ -464,6 +495,34 @@ mod tests {
         assert!(ch.can_accept());
         ch.accept(vec![1; 8], |_| BankLocation { bank: 0, row: 0 });
         assert!(!ch.can_accept(), "fifo full at depth 1");
+    }
+
+    #[test]
+    fn occupancy_sampling_tracks_fifo_fill() {
+        let (mut mem, ids) = mem_with(1);
+        let mut ch = ReadChannel::new(ids[0], 4, 4);
+        ch.sample_occupancy(); // empty
+        ch.push_addr(0);
+        let map = |_| BankLocation { bank: 0, row: 0 };
+        ch.try_start_request(map);
+        ch.submit(&mut mem);
+        let grants = mem.arbitrate().to_vec();
+        ch.handle_grant(grants[ids[0].index()]);
+        for resp in mem.take_responses() {
+            ch.handle_response(resp);
+        }
+        ch.sample_occupancy(); // one committed word
+        let occ = ch.fifo_occupancy();
+        assert_eq!(occ.count(), 2);
+        assert_eq!(occ.min(), 0);
+        assert_eq!(occ.max(), 1);
+
+        let mut wch = WriteChannel::new(ids[0], 2, 2);
+        wch.sample_occupancy();
+        wch.push_addr(0);
+        wch.accept(vec![1; 8], map);
+        wch.sample_occupancy();
+        assert_eq!(wch.fifo_occupancy().max(), 1);
     }
 
     #[test]

@@ -192,9 +192,14 @@ impl ReadStreamer {
         self.channels.iter().map(|c| c.requester()).collect()
     }
 
-    /// Phase 1: sample coarse-mode gating state (must run before responses
-    /// are delivered and before the accelerator pops).
+    /// Phase 1: sample per-channel FIFO occupancy and coarse-mode gating
+    /// state (must run before responses are delivered and before the
+    /// accelerator pops, so every cycle contributes exactly one occupancy
+    /// sample per channel).
     pub fn begin_cycle(&mut self) {
+        for channel in &mut self.channels {
+            channel.sample_occupancy();
+        }
         if self.fine_grained {
             return;
         }
@@ -356,6 +361,9 @@ impl Instrumented for ReadStreamer {
         registry.set_counter("temporal_addresses", self.stats.temporal_addresses.get());
         registry.set_counter("agu_wraps", self.tagu.wraps());
         registry.set_counter("fifo_high_watermark", self.fifo_high_watermark() as u64);
+        let all_occupancy =
+            dm_sim::LatencyHistogram::merged(self.channels.iter().map(ReadChannel::fifo_occupancy));
+        registry.set_histogram("fifo_occupancy", &all_occupancy);
         for (c, channel) in self.channels.iter().enumerate() {
             registry.with_scope(&format!("ch{c}"), |r| {
                 let stats = channel.stats();
@@ -363,6 +371,7 @@ impl Instrumented for ReadStreamer {
                 r.set_counter("retries", stats.retries.get());
                 r.set_counter("responses", stats.responses.get());
                 r.set_counter("fifo_high_watermark", channel.fifo_high_watermark() as u64);
+                r.set_histogram("fifo_occupancy", channel.fifo_occupancy());
             });
         }
     }

@@ -140,7 +140,14 @@ impl WriteStreamer {
     }
 
     /// Phase 4: run the AGU and drain channel FIFOs into the crossbar.
+    ///
+    /// Runs exactly once per simulated cycle, so it doubles as the sampling
+    /// point for per-channel FIFO occupancy (the write side has no
+    /// `begin_cycle` phase).
     pub fn generate_and_issue(&mut self, mem: &mut MemorySubsystem) {
+        for channel in &mut self.channels {
+            channel.sample_occupancy();
+        }
         if !self.tagu.is_done() {
             if self.channels.iter().all(WriteChannel::has_addr_space) {
                 if let Some(ta) = self.tagu.next_address() {
@@ -287,12 +294,17 @@ impl Instrumented for WriteStreamer {
         registry.set_counter("temporal_addresses", self.stats.temporal_addresses.get());
         registry.set_counter("agu_wraps", self.tagu.wraps());
         registry.set_counter("fifo_high_watermark", self.fifo_high_watermark() as u64);
+        let all_occupancy = dm_sim::LatencyHistogram::merged(
+            self.channels.iter().map(WriteChannel::fifo_occupancy),
+        );
+        registry.set_histogram("fifo_occupancy", &all_occupancy);
         for (c, channel) in self.channels.iter().enumerate() {
             registry.with_scope(&format!("ch{c}"), |r| {
                 let stats = channel.stats();
                 r.set_counter("granted", stats.granted.get());
                 r.set_counter("retries", stats.retries.get());
                 r.set_counter("fifo_high_watermark", channel.fifo_high_watermark() as u64);
+                r.set_histogram("fifo_occupancy", channel.fifo_occupancy());
             });
         }
     }

@@ -36,4 +36,6 @@ pub use addr::{Addr, BankLocation};
 pub use error::MemError;
 pub use remap::{AddressRemapper, AddressingMode};
 pub use scratchpad::{MemConfig, Scratchpad};
-pub use subsystem::{MemOp, MemRequest, MemResponse, MemStats, MemorySubsystem, RequesterId};
+pub use subsystem::{
+    LatencyTelemetry, MemOp, MemRequest, MemResponse, MemStats, MemorySubsystem, RequesterId,
+};

@@ -14,14 +14,19 @@
 //!    is precisely how bank conflicts turn into stall cycles.
 //!
 //! The subsystem counts granted reads/writes (the paper's "data access
-//! counts"), submissions and conflict events.
+//! counts"), submissions and conflict events, and stamps every request's
+//! lifetime — issue, arbitration grant, response delivery — into per-bank
+//! and per-requester [`LatencyTelemetry`] histograms. Queueing latency
+//! (issue → grant) measures arbitration pressure; service latency (grant →
+//! delivery) the bank pipeline; their sum is the end-to-end latency the
+//! streamer FIFOs must hide for the PE array to run stall-free.
 
 use std::collections::VecDeque;
 use std::fmt;
 
 use dm_sim::{
-    Counter, Cycle, Distribution, Instrumented, MetricsRegistry, RoundRobinArbiter, Trace,
-    TraceEventKind, TraceMode,
+    Counter, Cycle, Distribution, Instrumented, LatencyHistogram, MetricsRegistry,
+    RoundRobinArbiter, Trace, TraceEventKind, TraceMode,
 };
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +121,56 @@ impl MemStats {
     }
 }
 
+/// Request-lifetime histograms for one bank or one requester.
+///
+/// Per request, `queueing + service == end_to_end` exactly: all three are
+/// stamped from the same cycle counter, and the histograms' `sum`/`count`
+/// fields are exact even though individual samples are log-bucketed.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LatencyTelemetry {
+    /// Issue (first submit) → arbitration grant. Retries after a lost
+    /// arbitration do not re-stamp the issue cycle.
+    pub queueing: LatencyHistogram,
+    /// Grant → response delivery. Writes commit at the grant, so their
+    /// service latency is zero by definition.
+    pub service: LatencyHistogram,
+    /// Issue → delivery (grant, for writes).
+    pub end_to_end: LatencyHistogram,
+}
+
+impl LatencyTelemetry {
+    /// Merges another telemetry block into this one.
+    pub fn merge(&mut self, other: &LatencyTelemetry) {
+        self.queueing.merge(&other.queueing);
+        self.service.merge(&other.service);
+        self.end_to_end.merge(&other.end_to_end);
+    }
+
+    /// `true` when no request completed against this bank/requester.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end_to_end.is_empty()
+    }
+}
+
+impl Instrumented for LatencyTelemetry {
+    fn register_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.set_histogram("queueing", &self.queueing);
+        registry.set_histogram("service", &self.service);
+        registry.set_histogram("end_to_end", &self.end_to_end);
+    }
+}
+
+/// A read response scheduled for delivery, with its lifetime stamps.
+#[derive(Debug)]
+struct InFlightRead {
+    due: Cycle,
+    issued: Cycle,
+    granted: Cycle,
+    bank: usize,
+    response: MemResponse,
+}
+
 /// The banked scratchpad behind an interleaved crossbar.
 pub struct MemorySubsystem {
     scratchpad: Scratchpad,
@@ -125,11 +180,18 @@ pub struct MemorySubsystem {
     /// Requests submitted in the current cycle.
     submissions: Vec<MemRequest>,
     submitted: Vec<bool>,
-    /// Read responses in flight: (due cycle, response).
-    in_flight: VecDeque<(Cycle, MemResponse)>,
+    /// Read responses in flight, stamped for latency attribution.
+    in_flight: VecDeque<InFlightRead>,
     /// Grant flags from the last arbitration, indexed by requester.
     grants: Vec<bool>,
     per_bank_accesses: Vec<u64>,
+    /// Issue cycle of each requester's currently pending request. Set on
+    /// the first submit, cleared at the grant; retries keep the original
+    /// stamp. Sound because a requester has at most one request in the
+    /// submit/retry phase at a time (enforced by `DuplicateRequest`).
+    issue_cycle: Vec<Option<Cycle>>,
+    per_bank_latency: Vec<LatencyTelemetry>,
+    per_requester_latency: Vec<LatencyTelemetry>,
     stats: MemStats,
     cycle: Cycle,
     traffic_started: bool,
@@ -160,6 +222,9 @@ impl MemorySubsystem {
             in_flight: VecDeque::new(),
             grants: Vec::new(),
             per_bank_accesses: vec![0; banks],
+            issue_cycle: Vec::new(),
+            per_bank_latency: vec![LatencyTelemetry::default(); banks],
+            per_requester_latency: Vec::new(),
             stats: MemStats::default(),
             cycle: Cycle::ZERO,
             traffic_started: false,
@@ -255,21 +320,56 @@ impl MemorySubsystem {
         &self.per_bank_accesses
     }
 
+    /// Request-lifetime histograms per bank (indexed by bank number).
+    #[must_use]
+    pub fn latency_by_bank(&self) -> &[LatencyTelemetry] {
+        &self.per_bank_latency
+    }
+
+    /// Request-lifetime histograms per requester (indexed by
+    /// [`RequesterId::index`]). Empty until traffic starts.
+    #[must_use]
+    pub fn latency_by_requester(&self) -> &[LatencyTelemetry] {
+        &self.per_requester_latency
+    }
+
+    /// Request-lifetime histograms merged over all banks.
+    #[must_use]
+    pub fn latency_totals(&self) -> LatencyTelemetry {
+        let mut total = LatencyTelemetry::default();
+        for tel in &self.per_bank_latency {
+            total.merge(tel);
+        }
+        total
+    }
+
     /// Resets statistics (not memory contents or cycle count).
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
         self.per_bank_accesses.fill(0);
+        self.per_bank_latency.fill(LatencyTelemetry::default());
+        self.per_requester_latency.fill(LatencyTelemetry::default());
     }
 
     /// Step 1 of a cycle: collect read responses whose latency has elapsed.
     pub fn take_responses(&mut self) -> Vec<MemResponse> {
         let mut out = Vec::new();
-        while let Some((due, _)) = self.in_flight.front() {
-            if *due <= self.cycle {
-                out.push(self.in_flight.pop_front().expect("front exists").1);
-            } else {
+        while let Some(front) = self.in_flight.front() {
+            if front.due > self.cycle {
                 break;
             }
+            let read = self.in_flight.pop_front().expect("front exists");
+            // Delivery stamp: the response leaves the subsystem now.
+            let service = self.cycle.saturating_sub(read.granted).get();
+            let end_to_end = self.cycle.saturating_sub(read.issued).get();
+            self.per_bank_latency[read.bank].service.record(service);
+            self.per_bank_latency[read.bank]
+                .end_to_end
+                .record(end_to_end);
+            let requester = &mut self.per_requester_latency[read.response.requester.0];
+            requester.service.record(service);
+            requester.end_to_end.record(end_to_end);
+            out.push(read.response);
         }
         out
     }
@@ -296,6 +396,12 @@ impl MemorySubsystem {
             "request target outside memory geometry"
         );
         self.submitted[idx] = true;
+        // Issue stamp: only the first submit of a request counts; a retry
+        // after a lost arbitration resubmits the same request and keeps
+        // accruing queueing latency against the original issue cycle.
+        if self.issue_cycle[idx].is_none() {
+            self.issue_cycle[idx] = Some(self.cycle);
+        }
         self.submissions.push(request);
         self.stats.submissions.inc();
         Ok(())
@@ -347,21 +453,39 @@ impl MemorySubsystem {
             self.grants[winner] = true;
             self.per_bank_accesses[bank] += 1;
             let request = &self.submissions[submission_idx];
+            // Grant stamp: the pending request leaves the arbitration phase.
+            let issued = self.issue_cycle[winner]
+                .take()
+                .expect("granted request was submitted, so it was stamped");
+            let queueing = self.cycle.saturating_sub(issued).get();
+            self.per_bank_latency[bank].queueing.record(queueing);
+            self.per_requester_latency[winner].queueing.record(queueing);
             match &request.op {
                 MemOp::Read => {
                     self.stats.reads.inc();
                     let data = self.scratchpad.read_row(request.loc).to_vec();
-                    self.in_flight.push_back((
-                        self.cycle + self.read_latency,
-                        MemResponse {
+                    self.in_flight.push_back(InFlightRead {
+                        due: self.cycle + self.read_latency,
+                        issued,
+                        granted: self.cycle,
+                        bank,
+                        response: MemResponse {
                             requester: request.requester,
                             tag: request.tag,
                             data,
                         },
-                    ));
+                    });
                 }
                 MemOp::Write { data, mask } => {
                     self.stats.writes.inc();
+                    // Writes commit at the grant: service is zero and the
+                    // request's whole lifetime is its queueing delay.
+                    self.per_bank_latency[bank].service.record(0);
+                    self.per_bank_latency[bank].end_to_end.record(queueing);
+                    self.per_requester_latency[winner].service.record(0);
+                    self.per_requester_latency[winner]
+                        .end_to_end
+                        .record(queueing);
                     match mask {
                         Some(mask) => self.scratchpad.write_row(request.loc, data, mask),
                         None => self.scratchpad.write_row_full(request.loc, data),
@@ -388,6 +512,9 @@ impl MemorySubsystem {
             self.arbiters = vec![RoundRobinArbiter::new(n); self.scratchpad.config().num_banks()];
             self.submitted = vec![false; self.requester_names.len()];
             self.grants = vec![false; self.requester_names.len()];
+            self.issue_cycle = vec![None; self.requester_names.len()];
+            self.per_requester_latency =
+                vec![LatencyTelemetry::default(); self.requester_names.len()];
         }
     }
 }
@@ -420,6 +547,27 @@ impl Instrumented for MemorySubsystem {
         if self.per_bank_accesses.iter().any(|&n| n > 0) {
             let d: Distribution = self.per_bank_accesses.iter().map(|&n| n as f64).collect();
             registry.set_summary("bank_accesses", &d.summary());
+        }
+        registry.with_scope("latency", |r| self.latency_totals().register_metrics(r));
+        for (bank, tel) in self.per_bank_latency.iter().enumerate() {
+            if !tel.is_empty() || !tel.queueing.is_empty() {
+                registry.with_scope(&format!("bank{bank}"), |r| {
+                    r.with_scope("latency", |r| tel.register_metrics(r));
+                });
+            }
+        }
+        for (idx, tel) in self.per_requester_latency.iter().enumerate() {
+            if tel.is_empty() && tel.queueing.is_empty() {
+                continue;
+            }
+            // Requester names look like "A/ch0"; fold the separator into the
+            // dotted metric path: mem.requester.A.ch0.latency.queueing.p99.
+            let name = self.requester_names[idx].replace('/', ".");
+            registry.with_scope("requester", |r| {
+                r.with_scope(&name, |r| {
+                    r.with_scope("latency", |r| tel.register_metrics(r));
+                });
+            });
         }
     }
 }
@@ -678,5 +826,173 @@ mod tests {
         assert_eq!(reg.get("submissions").unwrap().as_f64(), 2.0);
         assert!(reg.get("conflict_rate").is_some());
         assert!(reg.get("bank_accesses.max").is_some());
+    }
+
+    #[test]
+    fn uncontended_read_lifetime_is_stamped() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        mem.submit(read(r, 0, 0, 0)).unwrap();
+        mem.arbitrate();
+        assert_eq!(mem.take_responses().len(), 1);
+        let tel = &mem.latency_by_requester()[r.index()];
+        // Granted in the issue cycle, delivered after the 1-cycle latency.
+        assert_eq!(tel.queueing.max(), 0);
+        assert_eq!(tel.service.max(), MemorySubsystem::DEFAULT_READ_LATENCY);
+        assert_eq!(tel.end_to_end.max(), MemorySubsystem::DEFAULT_READ_LATENCY);
+        assert_eq!(mem.latency_by_bank()[0].end_to_end.count(), 1);
+    }
+
+    #[test]
+    fn conflict_retries_accrue_queueing_latency() {
+        let mut mem = subsystem();
+        let a = mem.register_requester("a");
+        let b = mem.register_requester("b");
+        // Both hit bank 0; the loser retries and wins one cycle later.
+        mem.submit(read(a, 0, 0, 0)).unwrap();
+        mem.submit(read(b, 0, 1, 0)).unwrap();
+        let grants = mem.arbitrate().to_vec();
+        let loser = if grants[a.index()] { b } else { a };
+        mem.take_responses();
+        mem.submit(read(loser, 0, if loser == a { 0 } else { 1 }, 0))
+            .unwrap();
+        assert!(mem.arbitrate()[loser.index()]);
+        mem.take_responses();
+        let tel = &mem.latency_by_requester()[loser.index()];
+        assert_eq!(tel.queueing.max(), 1, "one lost arbitration = one cycle");
+        assert_eq!(
+            tel.end_to_end.max(),
+            1 + MemorySubsystem::DEFAULT_READ_LATENCY
+        );
+        // The winner paid no queueing delay.
+        let winner = if loser == a { b } else { a };
+        assert_eq!(mem.latency_by_requester()[winner.index()].queueing.max(), 0);
+    }
+
+    #[test]
+    fn write_lifetime_has_zero_service() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        mem.submit(MemRequest {
+            requester: r,
+            loc: BankLocation { bank: 3, row: 0 },
+            tag: 0,
+            op: MemOp::Write {
+                data: vec![0; 8],
+                mask: None,
+            },
+        })
+        .unwrap();
+        mem.arbitrate();
+        let tel = &mem.latency_by_bank()[3];
+        assert_eq!(tel.service.max(), 0);
+        assert_eq!(tel.queueing.count(), 1);
+        assert_eq!(tel.end_to_end.count(), 1);
+    }
+
+    #[test]
+    fn lifetime_invariant_queueing_plus_service_is_end_to_end() {
+        let mut mem = subsystem();
+        let ids: Vec<_> = (0..3)
+            .map(|i| mem.register_requester(format!("r{i}")))
+            .collect();
+        // Conflict-heavy: everyone hammers bank 0, interleaved with writes.
+        let mut pending: Vec<Option<MemRequest>> = ids
+            .iter()
+            .map(|&id| Some(read(id, 0, id.index(), 0)))
+            .collect();
+        let mut issued = [0u32; 3];
+        for cycle in 0..40 {
+            mem.take_responses();
+            for (i, slot) in pending.iter_mut().enumerate() {
+                if slot.is_none() && issued[i] < 5 {
+                    issued[i] += 1;
+                    *slot = Some(if (cycle + i) % 3 == 0 {
+                        MemRequest {
+                            requester: ids[i],
+                            loc: BankLocation { bank: 0, row: i },
+                            tag: 0,
+                            op: MemOp::Write {
+                                data: vec![i as u8; 8],
+                                mask: None,
+                            },
+                        }
+                    } else {
+                        read(ids[i], 0, i, 0)
+                    });
+                }
+                if let Some(req) = slot.clone() {
+                    mem.submit(req).unwrap();
+                }
+            }
+            let grants = mem.arbitrate().to_vec();
+            for (i, slot) in pending.iter_mut().enumerate() {
+                if grants[ids[i].index()] {
+                    *slot = None;
+                }
+            }
+        }
+        // Drain.
+        for _ in 0..4 {
+            mem.take_responses();
+            mem.arbitrate();
+        }
+        mem.take_responses();
+        let total = mem.latency_totals();
+        assert!(total.queueing.max() > 0, "workload must actually conflict");
+        assert_eq!(total.queueing.count(), total.end_to_end.count());
+        assert_eq!(total.service.count(), total.end_to_end.count());
+        assert_eq!(
+            total.queueing.sum() + total.service.sum(),
+            total.end_to_end.sum(),
+            "per-request lifetimes must decompose exactly"
+        );
+        // Per-requester telemetry merges to the same totals.
+        let merged =
+            mem.latency_by_requester()
+                .iter()
+                .fold(LatencyTelemetry::default(), |mut acc, tel| {
+                    acc.merge(tel);
+                    acc
+                });
+        assert_eq!(merged, total);
+    }
+
+    #[test]
+    fn latency_metrics_appear_under_scoped_paths() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("A/ch0");
+        mem.submit(read(r, 1, 0, 0)).unwrap();
+        mem.arbitrate();
+        mem.take_responses();
+        let mut reg = MetricsRegistry::new();
+        mem.register_metrics(&mut reg);
+        for path in [
+            "latency.queueing.p50",
+            "latency.service.p99",
+            "latency.end_to_end.max",
+            "bank1.latency.end_to_end.count",
+            "requester.A.ch0.latency.queueing.count",
+        ] {
+            assert!(reg.get(path).is_some(), "missing {path}");
+        }
+        // Banks that saw no traffic publish nothing.
+        assert!(reg.get("bank0.latency.end_to_end.count").is_none());
+    }
+
+    #[test]
+    fn reset_stats_clears_latency_telemetry() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        mem.submit(read(r, 0, 0, 0)).unwrap();
+        mem.arbitrate();
+        mem.take_responses();
+        assert!(!mem.latency_totals().is_empty());
+        mem.reset_stats();
+        assert!(mem.latency_totals().is_empty());
+        assert!(mem
+            .latency_by_requester()
+            .iter()
+            .all(LatencyTelemetry::is_empty));
     }
 }

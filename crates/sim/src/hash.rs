@@ -1,0 +1,145 @@
+//! A stable, dependency-free 64-bit hasher for provenance fingerprints.
+//!
+//! `std::hash` deliberately does not promise stability across Rust versions
+//! or program runs (SipHash is randomly keyed), so run-report fingerprints
+//! built on it would not be comparable across commits — the whole point of
+//! the regression baseline. This module implements FNV-1a/64, which is a
+//! pure function of the input bytes: the same configuration and workload
+//! always produce the same fingerprint, on any host, forever.
+//!
+//! FNV-1a is not collision-resistant; that is fine here. The fingerprint
+//! guards against *accidental* comparison of unlike runs, not adversaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use dm_sim::StableHasher;
+//!
+//! let mut h = StableHasher::new();
+//! h.write_str("GeMM 16x16x16");
+//! h.write_u64(8);
+//! let a = h.finish();
+//! let mut h2 = StableHasher::new();
+//! h2.write_str("GeMM 16x16x16");
+//! h2.write_u64(8);
+//! assert_eq!(a, h2.finish());
+//! ```
+
+/// An incremental FNV-1a/64 hasher.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a string in, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Folds a `u64` in (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` in, widened to `u64` so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds a bool in as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[u8::from(v)]);
+    }
+
+    /// The current 64-bit digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as 16 lowercase hex digits — the form reports embed.
+    #[must_use]
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fnv1a_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        let digest = |s: &str| {
+            let mut h = StableHasher::new();
+            h.write_bytes(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_concatenation() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_sixteen_lowercase_digits() {
+        let mut h = StableHasher::new();
+        h.write_u64(42);
+        let hex = h.finish_hex();
+        assert_eq!(hex.len(), 16);
+        assert!(hex
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert_eq!(u64::from_str_radix(&hex, 16).unwrap(), h.finish());
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut a = StableHasher::new();
+        a.write_u64(1);
+        a.write_bool(true);
+        let mut b = StableHasher::new();
+        b.write_bool(true);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

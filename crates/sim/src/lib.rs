@@ -12,6 +12,9 @@
 //!   bank by the interleaved crossbar;
 //! * [`stats`] — simple saturating counters and distribution summaries
 //!   (min / quartiles / max / mean) used to reproduce the paper's box plots;
+//! * [`histogram`] — log-bucketed, mergeable latency/occupancy histograms
+//!   (p50/p90/p99/max with bounded relative error) for request lifetimes;
+//! * [`hash`] — a stable FNV-1a hasher for provenance fingerprints;
 //! * [`trace`] — an optional, cheap typed event trace for pipelines;
 //! * [`stall`] — the per-cycle stall-cause taxonomy and attribution used to
 //!   explain the paper's ablation deltas;
@@ -37,6 +40,8 @@
 pub mod arbiter;
 pub mod cycle;
 pub mod fifo;
+pub mod hash;
+pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
@@ -47,6 +52,8 @@ pub mod trace;
 pub use arbiter::RoundRobinArbiter;
 pub use cycle::Cycle;
 pub use fifo::{Fifo, ReservedSlot};
+pub use hash::StableHasher;
+pub use histogram::LatencyHistogram;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Instrumented, MetricValue, MetricsRegistry};
 pub use stall::{Port, StallAttribution, StallCause};

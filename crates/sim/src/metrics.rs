@@ -13,6 +13,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::histogram::LatencyHistogram;
 use crate::json::{JsonError, JsonValue};
 use crate::stats::Summary;
 
@@ -131,6 +132,26 @@ impl MetricsRegistry {
             r.set_gauge("q3", summary.q3);
             r.set_gauge("max", summary.max);
             r.set_gauge("mean", summary.mean);
+        });
+    }
+
+    /// Publishes a latency histogram as `name.{count,sum,min,p50,p90,p99,
+    /// max,mean}` under the current scope. Empty histograms publish nothing
+    /// (so an idle channel leaves no misleading all-zero percentiles).
+    pub fn set_histogram(&mut self, name: &str, hist: &LatencyHistogram) {
+        if hist.is_empty() {
+            return;
+        }
+        let (p50, p90, p99, max) = hist.summary_percentiles();
+        self.with_scope(name, |r| {
+            r.set_counter("count", hist.count());
+            r.set_counter("sum", hist.sum());
+            r.set_counter("min", hist.min());
+            r.set_counter("p50", p50);
+            r.set_counter("p90", p90);
+            r.set_counter("p99", p99);
+            r.set_counter("max", max);
+            r.set_gauge("mean", hist.mean());
         });
     }
 

@@ -170,8 +170,15 @@ impl Distribution {
         })
     }
 
-    /// The `q`-quantile (`0.0..=1.0`, linear interpolation) of the recorded
-    /// samples.
+    /// The `q`-quantile (`0.0..=1.0`) of the recorded samples.
+    ///
+    /// Interpolation rule (NumPy's `linear`, Hyndman–Fan type 7): the
+    /// quantile sits at fractional rank `q · (n − 1)` in the ascending
+    /// sample order and interpolates linearly between the two neighbouring
+    /// samples. The endpoints are exact by construction and never
+    /// extrapolate: `q = 0.0` returns the smallest sample and `q = 1.0` the
+    /// largest, bypassing the interpolation arithmetic entirely so no
+    /// floating-point rounding can nudge them past the observed range.
     ///
     /// # Panics
     ///
@@ -212,11 +219,17 @@ impl FromIterator<f64> for Distribution {
     }
 }
 
-/// Linear-interpolated quantile of an ascending-sorted slice.
+/// Linear-interpolated quantile of an ascending-sorted slice
+/// (Hyndman–Fan type 7; see [`Distribution::percentile`] for the full
+/// contract). `q <= 0` and `q >= 1` return the first/last element directly —
+/// min and max stay exact and interpolation never reads past the ends.
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    if sorted.len() == 1 {
+    if q <= 0.0 {
         return sorted[0];
+    }
+    if q >= 1.0 {
+        return sorted[sorted.len() - 1];
     }
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -351,6 +364,28 @@ mod tests {
     fn percentile_rejects_bad_quantile() {
         let d: Distribution = [1.0].into_iter().collect();
         let _ = d.percentile(1.5);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_exact_min_and_max() {
+        // Values chosen so naive interpolation at the ends would round:
+        // (max - min) is not exactly representable relative to min.
+        let d: Distribution = [0.1, 0.2, 0.30000000000000004, 1e308].into_iter().collect();
+        assert_eq!(d.percentile(0.0), 0.1);
+        assert_eq!(d.percentile(1.0), 1e308);
+        // -0.0 counts as "at or below zero" and still returns the min.
+        assert_eq!(d.percentile(-0.0), 0.1);
+        // A q infinitesimally below 1 must not exceed the max.
+        let near_one = 1.0 - f64::EPSILON;
+        assert!(d.percentile(near_one) <= d.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_endpoints_match_summary_extremes() {
+        let d: Distribution = [4.0, -2.5, 9.25, 0.0].into_iter().collect();
+        let s = d.summary();
+        assert_eq!(d.percentile(0.0), s.min);
+        assert_eq!(d.percentile(1.0), s.max);
     }
 
     #[test]

@@ -33,12 +33,16 @@
 pub mod copy_engine;
 pub mod error;
 pub mod pool;
+pub mod provenance;
 pub mod system;
 
 pub use copy_engine::{CopyEngine, CopyStats};
 pub use error::SystemError;
 pub use pool::{run_pool, PoolReport};
-pub use system::{run_compiled, run_workload, RunReport, StallBreakdown, SystemConfig};
+pub use provenance::Provenance;
+pub use system::{
+    run_compiled, run_workload, HostTimings, RunReport, StallBreakdown, SystemConfig,
+};
 
 #[cfg(test)]
 mod tests {

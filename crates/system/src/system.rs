@@ -12,9 +12,11 @@ use dm_sim::{
 };
 use dm_workloads::{Workload, WorkloadData};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 use crate::copy_engine::CopyEngine;
 use crate::error::SystemError;
+use crate::provenance::Provenance;
 
 /// Configuration of the evaluation system build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +40,11 @@ pub struct SystemConfig {
     /// Event-trace capture for this run ([`TraceMode::Off`] by default;
     /// tracing never affects simulated behaviour, only the report).
     pub trace: TraceMode,
+    /// Measure host wall-clock time per tick phase (streamers / memory /
+    /// PE array) during the compute loop. Off by default; the timings live
+    /// in [`RunReport::host`], never in the metrics registry, so simulated
+    /// results stay bit-identical with timing on or off.
+    pub time_phases: bool,
 }
 
 impl Default for SystemConfig {
@@ -53,6 +60,7 @@ impl Default for SystemConfig {
             check_output: true,
             read_latency: 1,
             trace: TraceMode::Off,
+            time_phases: false,
         }
     }
 }
@@ -84,6 +92,92 @@ impl StallBreakdown {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.a + self.b + self.c + self.out
+    }
+}
+
+/// Host wall-clock time spent per tick phase during the compute loop.
+///
+/// Collected only when [`SystemConfig::time_phases`] is set. These numbers
+/// describe the *simulator host*, not the simulated machine: they answer
+/// "where does the simulator spend its time" and feed the regression
+/// harness's throughput figure. They are intentionally kept out of the
+/// metrics registry so metric snapshots stay deterministic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostTimings {
+    /// Nanoseconds in streamer phases (`begin_cycle`, address generation
+    /// and issue, grant handling) across all four streamers.
+    pub streamers_ns: u64,
+    /// Nanoseconds in the memory subsystem (response routing, arbitration).
+    pub memory_ns: u64,
+    /// Nanoseconds in the PE array (handshake decision, datapath step,
+    /// quantization).
+    pub pe_ns: u64,
+    /// Nanoseconds for the whole compute loop, including bookkeeping not
+    /// attributed to a phase.
+    pub compute_loop_ns: u64,
+    /// Simulated compute cycles the loop executed.
+    pub cycles: u64,
+}
+
+impl HostTimings {
+    /// Host throughput: simulated cycles per wall-clock second.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.compute_loop_ns == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / (self.compute_loop_ns as f64 / 1e9)
+    }
+}
+
+/// Accumulates wall-clock laps into per-phase buckets; a no-op when the
+/// run was configured without host timing.
+struct HostPhaseClock {
+    last: Option<Instant>,
+    timings: HostTimings,
+}
+
+enum Phase {
+    Streamers,
+    Memory,
+    Pe,
+}
+
+impl HostPhaseClock {
+    fn new(enabled: bool) -> Self {
+        HostPhaseClock {
+            last: enabled.then(Instant::now),
+            timings: HostTimings::default(),
+        }
+    }
+
+    /// Restarts the lap timer without attributing the elapsed interval.
+    fn start(&mut self) {
+        if self.last.is_some() {
+            self.last = Some(Instant::now());
+        }
+    }
+
+    /// Attributes the time since the previous mark to `phase`.
+    fn lap(&mut self, phase: Phase) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            let ns = now.duration_since(last).as_nanos() as u64;
+            match phase {
+                Phase::Streamers => self.timings.streamers_ns += ns,
+                Phase::Memory => self.timings.memory_ns += ns,
+                Phase::Pe => self.timings.pe_ns += ns,
+            }
+            self.last = Some(now);
+        }
+    }
+
+    fn finish(self, loop_start: Option<Instant>, cycles: u64) -> Option<HostTimings> {
+        let start = loop_start?;
+        let mut timings = self.timings;
+        timings.compute_loop_ns = start.elapsed().as_nanos() as u64;
+        timings.cycles = cycles;
+        Some(timings)
     }
 }
 
@@ -125,6 +219,12 @@ pub struct RunReport {
     /// Captured event traces, one per component track, in Perfetto track
     /// order. Empty when [`SystemConfig::trace`] is [`TraceMode::Off`].
     pub traces: Vec<(String, Trace)>,
+    /// Deterministic identity of this run: fingerprint of the
+    /// behaviour-relevant configuration, workload and crate version.
+    pub provenance: Provenance,
+    /// Host wall-clock phase timings; `None` unless
+    /// [`SystemConfig::time_phases`] was set.
+    pub host: Option<HostTimings>,
 }
 
 impl RunReport {
@@ -276,10 +376,14 @@ pub fn run_compiled(
     sys_trace.emit_with(mem.cycle(), "system", || TraceEventKind::SpanBegin {
         name: "compute".to_owned(),
     });
+    let mut clock = HostPhaseClock::new(config.time_phases);
+    let loop_start = config.time_phases.then(Instant::now);
     while !(a.is_done() && b.is_done() && c.is_done() && out.is_done()) {
+        clock.start();
         a.begin_cycle();
         b.begin_cycle();
         c.begin_cycle();
+        clock.lap(Phase::Streamers);
         for resp in mem.take_responses() {
             match routes[resp.requester.index()] {
                 Route::A => a.accept_response(resp),
@@ -288,6 +392,7 @@ pub fn run_compiled(
                 Route::None => unreachable!("response for a write/copy port"),
             }
         }
+        clock.lap(Phase::Memory);
         // The accelerator handshake: fire when all operand ports are valid
         // and the output port is ready (on tile-completing steps).
         let needs_c = datapath.needs_c();
@@ -354,15 +459,19 @@ pub fn run_compiled(
             attribution.record_stall(cause);
             sys_trace.emit(now, "pe", TraceEventKind::PeStall { cause });
         }
+        clock.lap(Phase::Pe);
         a.generate_and_issue(&mut mem);
         b.generate_and_issue(&mut mem);
         c.generate_and_issue(&mut mem);
         out.generate_and_issue(&mut mem);
+        clock.lap(Phase::Streamers);
         let grants = mem.arbitrate().to_vec();
+        clock.lap(Phase::Memory);
         a.handle_grants(&grants);
         b.handle_grants(&grants);
         c.handle_grants(&grants);
         out.handle_grants(&grants);
+        clock.lap(Phase::Streamers);
         compute_cycles += 1;
         debug_assert_eq!(
             attribution.total_cycles(),
@@ -379,6 +488,7 @@ pub fn run_compiled(
     sys_trace.emit_with(mem.cycle(), "system", || TraceEventKind::SpanEnd {
         name: "compute".to_owned(),
     });
+    let host = clock.finish(loop_start, compute_cycles);
     debug_assert_eq!(tiles_done, program.total_output_tiles);
     debug_assert_eq!(active_cycles, program.total_steps());
     assert_eq!(
@@ -505,6 +615,8 @@ pub fn run_compiled(
         per_bank_accesses: mem.per_bank_accesses().to_vec(),
         metrics,
         traces,
+        provenance: Provenance::stamp(config, program.workload),
+        host,
         checked,
     })
 }

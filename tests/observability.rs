@@ -220,3 +220,117 @@ fn ring_mode_bounds_trace_memory() {
     }
     assert!(dropped_somewhere, "workload too small to exercise the ring");
 }
+
+/// The latency observatory's core invariant, system-wide on a
+/// conflict-heavy run: every request's queueing plus service time equals
+/// its end-to-end time, so the histogram sums agree exactly.
+#[test]
+fn latency_observatory_invariant_holds_system_wide() {
+    // FIMA placement (step 5) keeps all streamers in one shared address
+    // space: bank conflicts, retries, and real queueing delay.
+    let cfg = SystemConfig::default().with_features(FeatureSet::ablation_step(5));
+    let report = run(&cfg, GemmSpec::new(64, 64, 64).into(), 13);
+    assert!(report.conflicts > 0, "expected a conflict-heavy run");
+    let counter = |path: &str| {
+        report
+            .metrics
+            .get(path)
+            .unwrap_or_else(|| panic!("missing metric {path}"))
+            .as_f64() as u64
+    };
+    let count = counter("mem.latency.end_to_end.count");
+    assert_eq!(counter("mem.latency.queueing.count"), count);
+    assert_eq!(counter("mem.latency.service.count"), count);
+    assert_eq!(
+        counter("mem.latency.queueing.sum") + counter("mem.latency.service.sum"),
+        counter("mem.latency.end_to_end.sum"),
+        "queueing + service must equal end-to-end, request by request"
+    );
+    // Percentiles are monotone and bounded by the exact extremes.
+    for component in ["queueing", "service", "end_to_end"] {
+        let p50 = counter(&format!("mem.latency.{component}.p50"));
+        let p90 = counter(&format!("mem.latency.{component}.p90"));
+        let p99 = counter(&format!("mem.latency.{component}.p99"));
+        let max = counter(&format!("mem.latency.{component}.max"));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max, "{component}");
+    }
+    assert!(
+        counter("mem.latency.queueing.max") >= 1,
+        "conflicts imply at least one request queued for a cycle"
+    );
+}
+
+/// Per-bank and per-requester latency scopes and per-channel FIFO
+/// occupancy telemetry all surface in the run's metric snapshot.
+#[test]
+fn occupancy_and_scoped_latency_metrics_are_published() {
+    let report = run(
+        &SystemConfig::default(),
+        GemmSpec::new(32, 32, 32).into(),
+        14,
+    );
+    for key in [
+        "mem.latency.end_to_end.p99",
+        "mem.requester.A.ch0.latency.queueing.count",
+        "streamer.A.fifo_occupancy.max",
+        "streamer.A.ch0.fifo_occupancy.count",
+        "streamer.OUT.fifo_occupancy.max",
+    ] {
+        assert!(report.metrics.get(key).is_some(), "missing metric {key}");
+    }
+    assert!(
+        report
+            .metrics
+            .iter()
+            .any(|(path, _)| path.starts_with("mem.bank") && path.contains(".latency.")),
+        "at least one trafficked bank publishes a latency scope"
+    );
+    // Occupancy was sampled once per streamer-active cycle, so the A
+    // streamer saw at least as many samples as compute cycles.
+    let samples = report
+        .metrics
+        .get("streamer.A.fifo_occupancy.count")
+        .unwrap()
+        .as_f64() as u64;
+    assert!(
+        samples >= report.compute_cycles,
+        "samples {samples} < compute cycles {}",
+        report.compute_cycles
+    );
+}
+
+/// Provenance stamps every report; host phase timings appear only when
+/// requested and never perturb the simulated measurement.
+#[test]
+fn provenance_and_host_timings_ride_the_report() {
+    let workload: Workload = GemmSpec::new(16, 16, 16).into();
+    let plain = run(&SystemConfig::default(), workload, 15);
+    assert!(plain.host.is_none());
+    assert_eq!(plain.provenance.fingerprint.len(), 16);
+    assert!(plain
+        .provenance
+        .fingerprint
+        .chars()
+        .all(|c| c.is_ascii_hexdigit()));
+    assert_eq!(plain.provenance.workload, workload.to_string());
+
+    let timed = run(
+        &SystemConfig {
+            time_phases: true,
+            ..SystemConfig::default()
+        },
+        workload,
+        15,
+    );
+    let host = timed.host.expect("time_phases captures host timings");
+    assert_eq!(host.cycles, timed.compute_cycles);
+    assert!(host.compute_loop_ns > 0);
+    assert!(
+        host.streamers_ns + host.memory_ns + host.pe_ns <= host.compute_loop_ns,
+        "phase laps cannot exceed the whole loop"
+    );
+    // Same fingerprint (timing is a diagnostic) and identical measurement.
+    assert_eq!(timed.provenance, plain.provenance);
+    assert_eq!(timed.metrics, plain.metrics);
+    assert_eq!(timed.compute_cycles, plain.compute_cycles);
+}
