@@ -207,6 +207,9 @@ impl GemmDatapath {
 #[cfg(test)]
 mod tests {
     use super::*;
+    // Referenced only inside `proptest!` blocks, which the vendored
+    // stand-in discards wholesale.
+    #[allow(unused_imports)]
     use crate::reference::gemm_ref;
     use crate::word::encode_i8;
     use proptest::prelude::*;

@@ -48,7 +48,7 @@ fn bench_spatial(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = bench_temporal, bench_spatial
 }
 criterion_main!(benches);

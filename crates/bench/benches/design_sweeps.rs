@@ -65,7 +65,7 @@ fn bench_prefetch(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion.sample_size(10);
     targets = bench_fifo_depth, bench_addressing_mode, bench_prefetch
 }
 criterion_main!(benches);

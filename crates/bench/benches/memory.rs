@@ -70,7 +70,7 @@ fn bench_crossbar(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = bench_remapper, bench_crossbar
 }
 criterion_main!(benches);

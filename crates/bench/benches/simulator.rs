@@ -44,7 +44,7 @@ fn bench_verified_run(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion.sample_size(10);
     targets = bench_runs, bench_verified_run
 }
 criterion_main!(benches);

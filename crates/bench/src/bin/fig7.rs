@@ -8,9 +8,10 @@
 //!   baseline ①, per kernel group.
 //!
 //! Pass `--quick` to run on every 5th workload for a fast smoke pass,
-//! `--metrics-out <path>` to dump one JSONL metrics snapshot per run, and
-//! `--trace-out <path>` to capture a Perfetto trace of the first
-//! fully-featured (step ⑥) run.
+//! `--jobs <n>` to fan the independent runs out over `n` threads (output is
+//! byte-identical to `--jobs 1`), `--metrics-out <path>` to dump one JSONL
+//! metrics snapshot per run, and `--trace-out <path>` to capture a Perfetto
+//! trace of the first workload's fully-featured (step ⑥) run.
 
 use std::collections::BTreeMap;
 
@@ -47,29 +48,41 @@ fn main() {
     let mut access_ratio: BTreeMap<(WorkloadGroup, usize), Distribution> = BTreeMap::new();
     let mut attribution: BTreeMap<usize, StallAttribution> = BTreeMap::new();
 
-    for (idx, workload) in suite.iter().enumerate() {
+    // One work item = one workload through all six ablation steps; the
+    // simulation runs fan out over `--jobs` threads while trace capture,
+    // metrics logging and the statistics accumulation below stay on this
+    // thread, committed in suite order.
+    let reports = dm_bench::run_ordered(&suite, args.jobs, |idx, workload| {
+        (1..=6)
+            .map(|step| {
+                let mut cfg =
+                    SystemConfig::default().with_features(FeatureSet::ablation_step(step));
+                // Capture the requested Perfetto trace on the first
+                // workload's fully-featured run (tracing never changes the
+                // measurement, and pinning the choice to item 0 keeps it
+                // independent of thread scheduling).
+                if args.trace_out.is_some() && idx == 0 && step == 6 {
+                    cfg.trace = TraceMode::Full;
+                }
+                dm_bench::measure(&cfg, *workload, idx as u64)
+                    .unwrap_or_else(|e| panic!("step {step} on {workload}: {e}"))
+            })
+            .collect::<Vec<_>>()
+    });
+    for (idx, (workload, step_reports)) in suite.iter().zip(&reports).enumerate() {
         let mut baseline_accesses = 0u64;
-        for step in 1..=6 {
-            let mut cfg = SystemConfig::default().with_features(FeatureSet::ablation_step(step));
-            // Capture the requested Perfetto trace on the first
-            // fully-featured run (tracing never changes the measurement).
-            let traced = trace_pending.is_some() && step == 6;
-            if traced {
-                cfg.trace = TraceMode::Full;
-            }
-            let report = dm_bench::measure(&cfg, *workload, idx as u64)
-                .unwrap_or_else(|e| panic!("step {step} on {workload}: {e}"));
+        for (report, step) in step_reports.iter().zip(1..=6) {
             if step == 1 {
                 baseline_accesses = report.accesses();
             }
-            if let Some(path) = trace_pending.filter(|_| traced) {
+            if let Some(path) = trace_pending.filter(|_| idx == 0 && step == 6) {
                 dm_bench::write_trace(path, &report.traces)
                     .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
                 eprintln!("  wrote Perfetto trace of '{workload}' (step 6) to {path}");
                 trace_pending = None;
             }
             metrics_log
-                .record(&format!("{workload}|step{step}"), &report)
+                .record(&format!("{workload}|step{step}"), report)
                 .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
             utils
                 .entry((workload.group(), step))

@@ -1,7 +1,7 @@
 //! The benchmark regression harness CLI.
 //!
 //! ```text
-//! regress run  [--out <path>] [--full] [--no-host]
+//! regress run  [--out <path>] [--full] [--no-host] [--jobs <n>]
 //! regress diff <baseline.json> <new.json> [--threshold <fraction>]
 //! ```
 //!
@@ -9,7 +9,9 @@
 //! ResNet-18 by default; everything with `--full`) and writes one canonical
 //! `BENCH_*.json` document. With `--no-host` the document is fully
 //! deterministic — that is how the committed `BENCH_seed.json` baseline is
-//! produced and refreshed.
+//! produced and refreshed. `--jobs <n>` spreads the independent runs over
+//! `n` worker threads; entries are committed in suite order, so the output
+//! document is byte-identical to a `--jobs 1` run.
 //!
 //! `diff` compares two documents and exits non-zero when utilization drops
 //! or p99 latency inflates beyond the tolerance (default 1 %), when the
@@ -21,7 +23,7 @@ use dm_bench::regress;
 
 fn usage() -> ! {
     eprintln!("usage:");
-    eprintln!("  regress run  [--out <path>] [--full] [--no-host]");
+    eprintln!("  regress run  [--out <path>] [--full] [--no-host] [--jobs <n>]");
     eprintln!("  regress diff <baseline.json> <new.json> [--threshold <fraction>]");
     std::process::exit(2);
 }
@@ -39,16 +41,24 @@ fn run(args: &[String]) {
     let mut out = "BENCH_current.json".to_owned();
     let mut full = false;
     let mut with_host = true;
+    let mut jobs = 1;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
             "--full" => full = true,
             "--no-host" => with_host = false,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
-    let doc = regress::bench_document(full, with_host, |msg| eprintln!("  {msg}"))
+    let doc = regress::bench_document(full, with_host, jobs, |msg| eprintln!("  {msg}"))
         .unwrap_or_else(|e| panic!("benchmark run failed: {e}"));
     std::fs::write(&out, doc.to_json()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     let entries: usize = doc

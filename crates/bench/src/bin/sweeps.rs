@@ -6,10 +6,11 @@
 //!   fixed GeMM;
 //! * bank-count scaling of the scratchpad.
 //!
-//! Pass `--quick` to run a reduced set of sweep points, `--metrics-out
-//! <path>` to dump one JSONL metrics snapshot per configuration, and
-//! `--trace-out <path>` to capture a Perfetto trace of the first
-//! (depth-1 FIMA) run.
+//! Pass `--quick` to run a reduced set of sweep points, `--jobs <n>` to fan
+//! each sweep's points out over `n` threads (output is byte-identical to
+//! `--jobs 1`), `--metrics-out <path>` to dump one JSONL metrics snapshot
+//! per configuration, and `--trace-out <path>` to capture a Perfetto trace
+//! of the first (depth-1 FIMA) run.
 
 use dm_compiler::{BufferDepths, FeatureSet};
 use dm_mem::MemConfig;
@@ -36,7 +37,11 @@ fn main() {
     } else {
         &[1, 2, 4, 8, 16, 32]
     };
-    for &depth in depths {
+    // Every sweep below fans its independent points out over `--jobs`
+    // threads; printing and metrics logging commit in point order, so the
+    // output is byte-identical to a sequential run.
+    let trace_first = trace_pending.is_some();
+    let reports = dm_bench::run_ordered(depths, args.jobs, |i, &depth| {
         let mut cfg = SystemConfig {
             depths: BufferDepths {
                 data: depth,
@@ -46,19 +51,20 @@ fn main() {
             check_output: false,
             ..SystemConfig::default()
         };
-        let traced = trace_pending.is_some();
-        if traced {
+        if trace_first && i == 0 {
             cfg.trace = TraceMode::Full;
         }
-        let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
-        if let Some(path) = trace_pending.filter(|_| traced) {
+        dm_bench::measure(&cfg, workload, 1).expect("runs")
+    });
+    for (i, (&depth, r)) in depths.iter().zip(&reports).enumerate() {
+        if let Some(path) = trace_pending.filter(|_| i == 0) {
             dm_bench::write_trace(path, &r.traces)
                 .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
             eprintln!("  wrote Perfetto trace of depth-{depth} FIMA run to {path}");
             trace_pending = None;
         }
         metrics_log
-            .record(&format!("fifo-depth|{depth}"), &r)
+            .record(&format!("fifo-depth|{depth}"), r)
             .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
         println!(
             "{:<8} {:>11.2}% {:>12} {:>10}",
@@ -75,15 +81,18 @@ fn main() {
         "placement", "utilization", "conflicts"
     );
     dm_bench::rule(52);
-    for (name, step) in [("FIMA (shared space)", 5usize), ("GIMA (bank groups)", 6)] {
+    let placements = [("FIMA (shared space)", 5usize), ("GIMA (bank groups)", 6)];
+    let reports = dm_bench::run_ordered(&placements, args.jobs, |_, &(_, step)| {
         let cfg = SystemConfig {
             check_output: false,
             ..SystemConfig::default()
         }
         .with_features(FeatureSet::ablation_step(step));
-        let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+        dm_bench::measure(&cfg, workload, 1).expect("runs")
+    });
+    for (&(name, _), r) in placements.iter().zip(&reports) {
         metrics_log
-            .record(&format!("placement|{name}"), &r)
+            .record(&format!("placement|{name}"), r)
             .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
         println!(
             "{:<26} {:>11.2}% {:>12}",
@@ -133,26 +142,28 @@ fn main() {
     );
     dm_bench::rule(44);
     let latencies: &[u64] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
-    for &latency in latencies {
-        let mut utils = Vec::new();
-        for step in [6usize, 1] {
+    let reports = dm_bench::run_ordered(latencies, args.jobs, |_, &latency| {
+        [6usize, 1].map(|step| {
             let cfg = SystemConfig {
                 read_latency: latency,
                 check_output: false,
                 ..SystemConfig::default()
             }
             .with_features(FeatureSet::ablation_step(step));
-            let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+            dm_bench::measure(&cfg, workload, 1).expect("runs")
+        })
+    });
+    for (&latency, pair) in latencies.iter().zip(&reports) {
+        for (step, r) in [6usize, 1].iter().zip(pair) {
             metrics_log
-                .record(&format!("latency|{latency}|step{step}"), &r)
+                .record(&format!("latency|{latency}|step{step}"), r)
                 .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
-            utils.push(r.utilization());
         }
         println!(
             "{:<10} {:>15.2}% {:>15.2}%",
             latency,
-            100.0 * utils[0],
-            100.0 * utils[1]
+            100.0 * pair[0].utilization(),
+            100.0 * pair[1].utilization()
         );
     }
 
@@ -160,16 +171,18 @@ fn main() {
     println!("{:<8} {:>12} {:>12}", "banks", "utilization", "conflicts");
     dm_bench::rule(34);
     let bank_counts: &[usize] = if quick { &[16, 32] } else { &[8, 16, 32, 64] };
-    for &banks in bank_counts {
+    let reports = dm_bench::run_ordered(bank_counts, args.jobs, |_, &banks| {
         let rows = 16 * 1024 * 1024 / (banks * 8);
         let cfg = SystemConfig {
             mem: MemConfig::new(banks, 8, rows.next_power_of_two()).expect("geometry"),
             check_output: false,
             ..SystemConfig::default()
         };
-        let r = dm_bench::measure(&cfg, workload, 1).expect("runs");
+        dm_bench::measure(&cfg, workload, 1).expect("runs")
+    });
+    for (&banks, r) in bank_counts.iter().zip(&reports) {
         metrics_log
-            .record(&format!("banks|{banks}"), &r)
+            .record(&format!("banks|{banks}"), r)
             .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
         println!(
             "{:<8} {:>11.2}% {:>12}",

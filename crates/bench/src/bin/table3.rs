@@ -6,9 +6,11 @@
 //! cycles without memory stalls over the active cycles, aggregated over the
 //! whole network (layers weighted by their repeat counts).
 //!
-//! Pass `--quick` to simulate ResNet-18 only, `--metrics-out <path>` to
-//! dump one JSONL metrics snapshot per layer, and `--trace-out <path>` to
-//! capture a Perfetto trace of the first simulated layer.
+//! Pass `--quick` to simulate ResNet-18 only, `--jobs <n>` to fan the layer
+//! runs out over `n` threads (output is byte-identical to `--jobs 1`),
+//! `--metrics-out <path>` to dump one JSONL metrics snapshot per layer, and
+//! `--trace-out <path>` to capture a Perfetto trace of the first simulated
+//! layer.
 
 use dm_sim::{StallAttribution, TraceMode};
 use dm_system::SystemConfig;
@@ -40,15 +42,21 @@ fn main() {
         let mut ideal = 0u64;
         let mut total = 0u64;
         let mut attribution = StallAttribution::new();
-        for (i, layer) in model.layers.iter().enumerate() {
+        // Layers fan out over `--jobs` threads; trace capture is pinned to
+        // the first layer of the first simulated model so it stays
+        // independent of thread scheduling, and the reporting below commits
+        // in layer order.
+        let trace_first = trace_pending.is_some();
+        let reports = dm_bench::run_ordered(&model.layers, args.jobs, |i, layer| {
             let mut layer_cfg = cfg;
-            let traced = trace_pending.is_some();
-            if traced {
+            if trace_first && i == 0 {
                 layer_cfg.trace = TraceMode::Full;
             }
-            let report = dm_bench::measure(&layer_cfg, layer.workload, i as u64)
-                .unwrap_or_else(|e| panic!("{} / {}: {e}", model.name, layer.name));
-            if let Some(path) = trace_pending.filter(|_| traced) {
+            dm_bench::measure(&layer_cfg, layer.workload, i as u64)
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", model.name, layer.name))
+        });
+        for (i, (layer, report)) in model.layers.iter().zip(&reports).enumerate() {
+            if let Some(path) = trace_pending.filter(|_| i == 0) {
                 dm_bench::write_trace(path, &report.traces)
                     .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
                 eprintln!(
@@ -58,7 +66,7 @@ fn main() {
                 trace_pending = None;
             }
             metrics_log
-                .record(&format!("{}/{}", model.name, layer.name), &report)
+                .record(&format!("{}/{}", model.name, layer.name), report)
                 .unwrap_or_else(|e| panic!("writing metrics line: {e}"));
             ideal += report.ideal_cycles * u64::from(layer.repeat);
             total += report.total_cycles() * u64::from(layer.repeat);

@@ -77,18 +77,32 @@ pub fn measure(
 }
 
 /// Command-line options shared by the figure/table binaries.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BenchArgs {
     /// Run a reduced workload subset for a fast smoke pass.
     pub quick: bool,
+    /// Worker threads for independent simulated runs (1 = sequential).
+    pub jobs: usize,
     /// Append one JSONL metrics snapshot per simulated run to this path.
     pub metrics_out: Option<String>,
     /// Write a Chrome/Perfetto `trace_event` JSON dump of one traced run.
     pub trace_out: Option<String>,
 }
 
-/// Parses the standard bench flags: `--quick`, `--metrics-out <path>` and
-/// `--trace-out <path>`. Exits with status 2 on anything else.
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            quick: false,
+            jobs: 1,
+            metrics_out: None,
+            trace_out: None,
+        }
+    }
+}
+
+/// Parses the standard bench flags: `--quick`, `--jobs <n>`,
+/// `--metrics-out <path>` and `--trace-out <path>`. Exits with status 2 on
+/// anything else.
 #[must_use]
 pub fn parse_args() -> BenchArgs {
     let mut parsed = BenchArgs::default();
@@ -96,6 +110,13 @@ pub fn parse_args() -> BenchArgs {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => parsed.quick = true,
+            "--jobs" => {
+                parsed.jobs = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage_error("--jobs requires a positive integer"));
+            }
             "--metrics-out" => {
                 parsed.metrics_out = Some(
                     args.next()
@@ -116,8 +137,59 @@ pub fn parse_args() -> BenchArgs {
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("supported options: --quick, --metrics-out <path>, --trace-out <path>");
+    eprintln!("supported options: --quick, --jobs <n>, --metrics-out <path>, --trace-out <path>");
     std::process::exit(2);
+}
+
+/// Maps `work` over `items` on up to `jobs` worker threads, returning the
+/// results **in input order**.
+///
+/// Workers claim items through a shared atomic cursor, so scheduling is
+/// dynamic, but each result is tagged with its input index and the final
+/// vector is committed in that order — the output is identical to `jobs: 1`
+/// regardless of thread interleaving (every simulated run owns its whole
+/// `MemorySubsystem`, so runs are independent by construction).
+///
+/// # Panics
+///
+/// Re-raises a panic from any worker.
+pub fn run_ordered<I, T, F>(items: &[I], jobs: usize, work: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| work(i, item))
+            .collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            return local;
+                        };
+                        local.push((i, work(i, item)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            tagged.extend(handle.join().expect("bench worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, result)| result).collect()
 }
 
 /// Honours the shared CLI contract in analytic-only binaries (no simulated
@@ -249,5 +321,36 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.12345), "12.35%");
         assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn run_ordered_commits_results_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let square = |i: usize, &x: &usize| {
+            assert_eq!(i, x);
+            x * x
+        };
+        let sequential = run_ordered(&items, 1, square);
+        for jobs in [2, 3, 8, 200] {
+            assert_eq!(run_ordered(&items, jobs, square), sequential, "jobs={jobs}");
+        }
+        assert!(run_ordered(&[] as &[usize], 4, square).is_empty());
+    }
+
+    #[test]
+    fn run_ordered_simulated_runs_are_byte_identical_across_jobs() {
+        use dm_workloads::GemmSpec;
+        let specs = [
+            GemmSpec::new(16, 16, 16),
+            GemmSpec::new(16, 32, 16),
+            GemmSpec::new(32, 16, 16),
+        ];
+        let entries = |jobs: usize| -> Vec<String> {
+            run_ordered(&specs, jobs, |i, &spec| {
+                let report = measure(&SystemConfig::default(), spec.into(), i as u64).unwrap();
+                regress::entry_json(&format!("g{i}"), &report).to_json()
+            })
+        };
+        assert_eq!(entries(1), entries(3));
     }
 }

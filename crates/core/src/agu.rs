@@ -60,14 +60,20 @@ impl TemporalAgu {
     ///
     /// # Panics
     ///
-    /// Panics if `bounds` and `strides` differ in length or any bound is
-    /// zero; configurations are validated upstream by
-    /// [`RuntimeConfig::validate`](crate::RuntimeConfig::validate).
+    /// Panics if `bounds` and `strides` differ in length, any bound is
+    /// zero, or the bound product overflows `u64` (a silent wrap would
+    /// corrupt `total` and the `is_done` check); configurations are
+    /// validated upstream by
+    /// [`RuntimeConfig::validate`](crate::RuntimeConfig::validate), which
+    /// reports these as [`ConfigError`](crate::ConfigError) instead.
     #[must_use]
     pub fn new(base: u64, bounds: &[u64], strides: &[i64]) -> Self {
         assert_eq!(bounds.len(), strides.len(), "bounds/strides mismatch");
         assert!(!bounds.contains(&0), "zero temporal bound");
-        let total = bounds.iter().product();
+        let total = bounds
+            .iter()
+            .try_fold(1u64, |acc, &bound| acc.checked_mul(bound))
+            .expect("temporal bound product overflows u64");
         TemporalAgu {
             base: base as i64,
             bounds: bounds.to_vec(),
@@ -254,7 +260,10 @@ impl SpatialAgu {
 /// structure).
 #[must_use]
 pub fn naive_temporal_addresses(base: u64, bounds: &[u64], strides: &[i64]) -> Vec<u64> {
-    let total: u64 = bounds.iter().product();
+    let total = bounds
+        .iter()
+        .try_fold(1u64, |acc, &bound| acc.checked_mul(bound))
+        .expect("temporal bound product overflows u64");
     let mut out = Vec::with_capacity(total as usize);
     for flat in 0..total {
         let mut rem = flat;
@@ -376,6 +385,15 @@ mod tests {
     fn negative_spatial_address_panics() {
         let agu = SpatialAgu::new(&[4], &[-8]);
         let _ = agu.channel_address(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn overflowing_bound_product_panics_instead_of_wrapping() {
+        // 2^32 · 2^32 · 2 wraps to zero under unchecked multiplication; a
+        // wrapped `total` of zero would make the AGU claim completion
+        // immediately.
+        let _ = TemporalAgu::new(0, &[1 << 32, 1 << 32, 2], &[1, 1, 1]);
     }
 
     proptest! {

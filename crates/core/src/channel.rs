@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use dm_mem::{BankLocation, MemOp, MemRequest, MemResponse, MemorySubsystem, RequesterId};
+use dm_mem::{BankLocation, MemOp, MemRequest, MemResponse, MemorySubsystem, RequesterId, Word};
 use dm_sim::{Counter, Fifo, LatencyHistogram, ReservedSlot};
 use serde::{Deserialize, Serialize};
 
@@ -29,7 +29,7 @@ pub struct ChannelStats {
 #[derive(Debug)]
 pub struct ReadChannel {
     requester: RequesterId,
-    fifo: Fifo<Vec<u8>>,
+    fifo: Fifo<Word>,
     addr_queue: VecDeque<u64>,
     addr_capacity: usize,
     /// Request accepted by the RSC but not yet granted by the crossbar.
@@ -193,7 +193,7 @@ impl ReadChannel {
 
     /// Pops the word at the FIFO head.
     #[must_use]
-    pub fn pop(&mut self) -> Option<Vec<u8>> {
+    pub fn pop(&mut self) -> Option<Word> {
         self.fifo.pop()
     }
 
@@ -227,7 +227,7 @@ impl ReadChannel {
 #[derive(Debug)]
 pub struct WriteChannel {
     requester: RequesterId,
-    fifo: Fifo<(BankLocation, Vec<u8>)>,
+    fifo: Fifo<(BankLocation, Word)>,
     addr_queue: VecDeque<u64>,
     addr_capacity: usize,
     stats: ChannelStats,
@@ -283,7 +283,7 @@ impl WriteChannel {
     /// # Panics
     ///
     /// Panics if [`can_accept`](Self::can_accept) is false.
-    pub fn accept(&mut self, data: Vec<u8>, map: impl FnOnce(u64) -> BankLocation) {
+    pub fn accept(&mut self, data: Word, map: impl FnOnce(u64) -> BankLocation) {
         let addr = self
             .addr_queue
             .pop_front()
@@ -318,15 +318,12 @@ impl WriteChannel {
     ///
     /// Panics on subsystem protocol violations (simulator bugs).
     pub fn submit(&mut self, mem: &mut MemorySubsystem) {
-        if let Some((loc, data)) = self.fifo.peek() {
+        if let Some(&(loc, data)) = self.fifo.peek() {
             mem.submit(MemRequest {
                 requester: self.requester,
-                loc: *loc,
+                loc,
                 tag: 0,
-                op: MemOp::Write {
-                    data: data.clone(),
-                    mask: None,
-                },
+                op: MemOp::Write { data, mask: None },
             })
             .expect("write channel submission accepted");
         }
@@ -470,7 +467,7 @@ mod tests {
         let mut ch = WriteChannel::new(ids[0], 2, 2);
         ch.push_addr(16);
         assert!(ch.can_accept());
-        ch.accept(vec![7; 8], |a| BankLocation {
+        ch.accept(Word::from_slice(&[7; 8]), |a| BankLocation {
             bank: (a / 8 % 4) as usize,
             row: (a / 8 / 4) as usize,
         });
@@ -493,7 +490,10 @@ mod tests {
         ch.push_addr(0);
         ch.push_addr(8);
         assert!(ch.can_accept());
-        ch.accept(vec![1; 8], |_| BankLocation { bank: 0, row: 0 });
+        ch.accept(Word::from_slice(&[1; 8]), |_| BankLocation {
+            bank: 0,
+            row: 0,
+        });
         assert!(!ch.can_accept(), "fifo full at depth 1");
     }
 
@@ -520,7 +520,7 @@ mod tests {
         let mut wch = WriteChannel::new(ids[0], 2, 2);
         wch.sample_occupancy();
         wch.push_addr(0);
-        wch.accept(vec![1; 8], map);
+        wch.accept(Word::from_slice(&[1; 8]), map);
         wch.sample_occupancy();
         assert_eq!(wch.fifo_occupancy().max(), 1);
     }
@@ -532,7 +532,10 @@ mod tests {
         let mut b = WriteChannel::new(ids[1], 2, 2);
         for ch in [&mut a, &mut b] {
             ch.push_addr(0);
-            ch.accept(vec![9; 8], |_| BankLocation { bank: 3, row: 1 });
+            ch.accept(Word::from_slice(&[9; 8]), |_| BankLocation {
+                bank: 3,
+                row: 1,
+            });
         }
         a.submit(&mut mem);
         b.submit(&mut mem);

@@ -300,9 +300,25 @@ impl RuntimeConfig {
     }
 
     /// Total number of temporal steps (product of the bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product overflows `u64`;
+    /// [`validate`](Self::validate) rejects such nests with
+    /// [`ConfigError::PatternTooLarge`] before they reach the AGU.
     #[must_use]
     pub fn total_temporal_steps(&self) -> u64 {
-        self.temporal_bounds.iter().product()
+        self.checked_total_temporal_steps()
+            .expect("temporal bound product overflows u64 (rejected by validate)")
+    }
+
+    /// Total number of temporal steps, or `None` when the product of the
+    /// bounds overflows `u64` (a nest that could never complete).
+    #[must_use]
+    pub fn checked_total_temporal_steps(&self) -> Option<u64> {
+        self.temporal_bounds
+            .iter()
+            .try_fold(1u64, |acc, &bound| acc.checked_mul(bound))
     }
 
     /// Validates this runtime configuration against a design.
@@ -310,7 +326,8 @@ impl RuntimeConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError`] when list lengths do not match the design's
-    /// dimensionality or a temporal bound is zero. (Runtime dimensionality
+    /// dimensionality, a temporal bound is zero, or the temporal bound
+    /// product overflows `u64`. (Runtime dimensionality
     /// may be *smaller* than the design's `D_t`: unused outer dimensions are
     /// simply left at bound 1, exactly as unused CSRs are in hardware.)
     pub fn validate(&self, design: &DesignConfig) -> Result<(), ConfigError> {
@@ -330,6 +347,11 @@ impl RuntimeConfig {
         }
         if self.temporal_bounds.contains(&0) {
             return Err(ConfigError::ZeroBound {
+                what: "temporal bounds",
+            });
+        }
+        if self.checked_total_temporal_steps().is_none() {
+            return Err(ConfigError::PatternTooLarge {
                 what: "temporal bounds",
             });
         }
@@ -531,6 +553,30 @@ mod tests {
             .temporal([3, 5, 2], [1, 1, 1])
             .build();
         assert_eq!(rt.total_temporal_steps(), 30);
+    }
+
+    #[test]
+    fn overflowing_nest_is_rejected_not_wrapped() {
+        // 2^32 · 2^32 · 2 overflows u64; an unchecked product would wrap to
+        // zero and make the AGU report itself done before the first step.
+        let rt = RuntimeConfig::builder()
+            .temporal([1 << 32, 1 << 32, 2], [1, 1, 1])
+            .spatial_strides([8, 16])
+            .build();
+        assert_eq!(rt.checked_total_temporal_steps(), None);
+        assert!(matches!(
+            rt.validate(&design()),
+            Err(ConfigError::PatternTooLarge {
+                what: "temporal bounds"
+            })
+        ));
+        // A maximal-but-representable nest still validates.
+        let rt = RuntimeConfig::builder()
+            .temporal([1 << 32, 1 << 31], [1, 1])
+            .spatial_strides([8, 16])
+            .build();
+        assert_eq!(rt.checked_total_temporal_steps(), Some(1 << 63));
+        assert!(rt.validate(&design()).is_ok());
     }
 
     #[test]

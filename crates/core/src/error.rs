@@ -25,6 +25,13 @@ pub enum ConfigError {
         /// Which bound list contained the zero.
         what: &'static str,
     },
+    /// The product of the loop bounds overflows `u64`: the AGU's total step
+    /// count (and therefore its `is_done` check) would silently wrap in a
+    /// release build. Such a nest could never complete anyway.
+    PatternTooLarge {
+        /// Which bound list overflowed.
+        what: &'static str,
+    },
     /// A design-time structural parameter was invalid.
     InvalidParameter {
         /// Which parameter.
@@ -63,6 +70,9 @@ impl fmt::Display for ConfigError {
             } => write!(f, "{what} expects {expected} entries, got {got}"),
             ConfigError::ZeroBound { what } => {
                 write!(f, "{what} contains a zero bound")
+            }
+            ConfigError::PatternTooLarge { what } => {
+                write!(f, "product of {what} overflows a 64-bit step count")
             }
             ConfigError::InvalidParameter { parameter, reason } => {
                 write!(f, "invalid {parameter}: {reason}")

@@ -97,6 +97,21 @@ impl ExtensionKind {
     /// Panics if the input width does not match the validated geometry.
     #[must_use]
     pub fn apply(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.apply_into(input, &mut out);
+        out
+    }
+
+    /// Applies the transform, writing the result into `out` (cleared first).
+    ///
+    /// The buffer retains its capacity across calls, so a warm buffer makes
+    /// the transform allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the validated geometry.
+    pub fn apply_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
         match self {
             ExtensionKind::Transposer {
                 rows,
@@ -104,7 +119,7 @@ impl ExtensionKind {
                 elem_bytes,
             } => {
                 assert_eq!(input.len(), rows * cols * elem_bytes);
-                let mut out = vec![0u8; input.len()];
+                out.resize(input.len(), 0);
                 for r in 0..*rows {
                     for c in 0..*cols {
                         let src = (r * cols + c) * elem_bytes;
@@ -112,14 +127,12 @@ impl ExtensionKind {
                         out[dst..dst + elem_bytes].copy_from_slice(&input[src..src + elem_bytes]);
                     }
                 }
-                out
             }
             ExtensionKind::Broadcaster { factor } => {
-                let mut out = Vec::with_capacity(input.len() * factor);
+                out.reserve(input.len() * factor);
                 for _ in 0..*factor {
                     out.extend_from_slice(input);
                 }
-                out
             }
         }
     }
@@ -223,20 +236,53 @@ impl ExtensionChain {
 
     /// Runs one wide word through the cascade.
     ///
+    /// Allocates a fresh output; the hot path is
+    /// [`process_into`](Self::process_into).
+    ///
     /// # Panics
     ///
     /// Panics if the input width differs from the configured width.
     #[must_use]
     pub fn process(&self, input: &[u8]) -> Vec<u8> {
-        assert_eq!(input.len(), self.input_width, "wide word width mismatch");
-        let mut word = input.to_vec();
-        for (kind, bypassed) in &self.stages {
-            if !bypassed {
-                word = kind.apply(&word);
-            }
-        }
-        word
+        let mut scratch = ExtensionScratch::default();
+        self.process_into(input, &mut scratch).to_vec()
     }
+
+    /// Runs one wide word through the cascade using caller-owned scratch
+    /// buffers, avoiding per-word allocation.
+    ///
+    /// With every stage bypassed (or no stages) the input slice is returned
+    /// unchanged — a fully zero-copy path. Otherwise the result lives in
+    /// `scratch` until the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from the configured width.
+    pub fn process_into<'a>(&self, input: &'a [u8], scratch: &'a mut ExtensionScratch) -> &'a [u8] {
+        assert_eq!(input.len(), self.input_width, "wide word width mismatch");
+        let mut active = self.stages.iter().filter(|(_, b)| !b).map(|(k, _)| k);
+        let Some(first) = active.next() else {
+            return input;
+        };
+        first.apply_into(input, &mut scratch.next);
+        std::mem::swap(&mut scratch.cur, &mut scratch.next);
+        for kind in active {
+            kind.apply_into(&scratch.cur, &mut scratch.next);
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+        }
+        &scratch.cur
+    }
+}
+
+/// Reusable ping-pong buffers for [`ExtensionChain::process_into`].
+///
+/// Each active stage writes into one buffer while reading the other; the
+/// buffers keep their capacity across wide words, so a streamer processing a
+/// long pattern allocates only on the first few words.
+#[derive(Debug, Default, Clone)]
+pub struct ExtensionScratch {
+    cur: Vec<u8>,
+    next: Vec<u8>,
 }
 
 #[cfg(test)]
@@ -359,6 +405,38 @@ mod tests {
         let chain = ExtensionChain::new(&[], &[], 8).unwrap();
         assert_eq!(chain.output_width(), 8);
         assert_eq!(chain.process(&[1; 8]), vec![1; 8]);
+    }
+
+    #[test]
+    fn process_into_matches_process() {
+        let chain = ExtensionChain::new(
+            &[
+                ExtensionKind::Transposer {
+                    rows: 2,
+                    cols: 2,
+                    elem_bytes: 1,
+                },
+                ExtensionKind::Broadcaster { factor: 2 },
+            ],
+            &[],
+            4,
+        )
+        .unwrap();
+        let mut scratch = ExtensionScratch::default();
+        for word in [[1u8, 2, 3, 4], [9, 8, 7, 6], [0, 0, 1, 1]] {
+            let expected = chain.process(&word);
+            assert_eq!(chain.process_into(&word, &mut scratch), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn process_into_identity_is_zero_copy() {
+        let chain =
+            ExtensionChain::new(&[ExtensionKind::Broadcaster { factor: 4 }], &[true], 4).unwrap();
+        let input = [5u8; 4];
+        let mut scratch = ExtensionScratch::default();
+        let out = chain.process_into(&input, &mut scratch);
+        assert_eq!(out.as_ptr(), input.as_ptr(), "bypassed chain must not copy");
     }
 
     #[test]

@@ -52,7 +52,7 @@
 //!         streamer.accept_response(resp);
 //!     }
 //!     if streamer.can_pop_wide() {
-//!         words.push(streamer.pop_wide());
+//!         words.push(streamer.pop_wide().to_vec());
 //!     }
 //!     streamer.generate_and_issue(&mut mem);
 //!     let grants = mem.arbitrate().to_vec();
@@ -62,6 +62,9 @@
 //! assert_eq!(words[0], data[0..32]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+// The cycle kernel lives here: performance lints are errors, not hints.
+#![deny(clippy::perf)]
 
 pub mod agu;
 pub mod channel;
@@ -77,6 +80,6 @@ pub use config::{
 };
 pub use csr::{decode_runtime, encode_runtime, CsrMap};
 pub use error::ConfigError;
-pub use extension::{ExtensionChain, ExtensionKind};
+pub use extension::{ExtensionChain, ExtensionKind, ExtensionScratch};
 pub use reader::{ReadStreamer, StreamerStats};
 pub use writer::WriteStreamer;

@@ -26,7 +26,7 @@ use crate::agu::{SpatialAgu, TemporalAgu};
 use crate::channel::ReadChannel;
 use crate::config::{DesignConfig, RuntimeConfig, StreamerMode};
 use crate::error::ConfigError;
-use crate::extension::ExtensionChain;
+use crate::extension::{ExtensionChain, ExtensionScratch};
 
 /// Aggregated statistics for one streamer.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +95,14 @@ pub struct ReadStreamer {
     sagu: SpatialAgu,
     channels: Vec<ReadChannel>,
     chain: ExtensionChain,
+    /// Requester index of channel 0; channels register contiguously, so a
+    /// response's channel is `requester.index() - requester_base` (a direct
+    /// route-table lookup instead of a linear scan).
+    requester_base: usize,
+    /// Reusable gather buffer for [`pop_wide`](Self::pop_wide).
+    gather: Vec<u8>,
+    /// Reusable extension-cascade buffers for [`pop_wide`](Self::pop_wide).
+    ext_scratch: ExtensionScratch,
     fine_grained: bool,
     /// Coarse mode: gate is open while the current wide request may issue.
     coarse_open: bool,
@@ -140,6 +148,9 @@ impl ReadStreamer {
             })
             .collect::<Vec<_>>();
         let n = channels.len();
+        let requester_base = channels
+            .first()
+            .map_or(0, |c: &ReadChannel| c.requester().index());
         Ok(ReadStreamer {
             name: design.name().to_owned(),
             remapper,
@@ -147,6 +158,9 @@ impl ReadStreamer {
             sagu,
             channels,
             chain,
+            requester_base,
+            gather: Vec::new(),
+            ext_scratch: ExtensionScratch::default(),
             fine_grained: design.fine_grained_prefetch(),
             coarse_open: false,
             coarse_started: vec![false; n],
@@ -216,10 +230,11 @@ impl ReadStreamer {
     ///
     /// Panics if the response belongs to no channel of this streamer.
     pub fn accept_response(&mut self, response: MemResponse) {
-        let channel = self
-            .channels
-            .iter_mut()
-            .find(|c| c.requester() == response.requester)
+        let channel = response
+            .requester
+            .index()
+            .checked_sub(self.requester_base)
+            .and_then(|c| self.channels.get_mut(c))
             .expect("response routed to wrong streamer");
         channel.handle_response(response);
     }
@@ -311,17 +326,23 @@ impl ReadStreamer {
     /// Gathers one word from every channel, applies the extension cascade
     /// and returns the accelerator-facing wide word.
     ///
+    /// The returned slice borrows internal scratch buffers and is valid
+    /// until the next `pop_wide`; callers that need to keep the word copy it
+    /// out (`.to_vec()` or into their own buffer). Gathering and the cascade
+    /// reuse warm buffers, so steady-state pops are allocation-free.
+    ///
     /// # Panics
     ///
     /// Panics if [`can_pop_wide`](Self::can_pop_wide) is false.
-    pub fn pop_wide(&mut self) -> Vec<u8> {
+    pub fn pop_wide(&mut self) -> &[u8] {
         assert!(self.can_pop_wide(), "wide pop without data in all channels");
-        let mut gathered = Vec::with_capacity(self.chain.input_width());
+        self.gather.clear();
         for channel in &mut self.channels {
-            gathered.extend(channel.pop().expect("channel has data"));
+            self.gather
+                .extend_from_slice(&channel.pop().expect("channel has data"));
         }
         self.stats.wide_words.inc();
-        self.chain.process(&gathered)
+        self.chain.process_into(&self.gather, &mut self.ext_scratch)
     }
 
     /// `true` once the pattern is exhausted and all data has been consumed.
@@ -453,7 +474,7 @@ mod tests {
         for _ in 0..40 {
             tick(&mut s, &mut mem);
             if s.can_pop_wide() {
-                words.push(s.pop_wide());
+                words.push(s.pop_wide().to_vec());
             }
             if s.is_done() {
                 break;

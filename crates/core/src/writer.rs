@@ -6,14 +6,14 @@
 //! destination address from the AGU; the channel MICs drain the FIFOs
 //! through the crossbar, retrying on bank conflicts.
 
-use dm_mem::{MemorySubsystem, RequesterId};
+use dm_mem::{MemorySubsystem, RequesterId, Word};
 use dm_sim::{Cycle, Instrumented, MetricsRegistry, Trace, TraceEventKind, TraceMode};
 
 use crate::agu::{SpatialAgu, TemporalAgu};
 use crate::channel::WriteChannel;
 use crate::config::{DesignConfig, RuntimeConfig, StreamerMode};
 use crate::error::ConfigError;
-use crate::extension::ExtensionChain;
+use crate::extension::{ExtensionChain, ExtensionScratch};
 use crate::reader::{bind_pattern, map_checked, StreamerStats};
 use dm_mem::AddressRemapper;
 
@@ -25,6 +25,8 @@ pub struct WriteStreamer {
     sagu: SpatialAgu,
     channels: Vec<WriteChannel>,
     chain: ExtensionChain,
+    /// Reusable extension-cascade buffers for [`push_wide`](Self::push_wide).
+    ext_scratch: ExtensionScratch,
     word_bytes: usize,
     fine_grained: bool,
     stats: StreamerStats,
@@ -96,6 +98,7 @@ impl WriteStreamer {
             sagu,
             channels,
             chain,
+            ext_scratch: ExtensionScratch::default(),
             word_bytes,
             fine_grained: design.fine_grained_prefetch(),
             stats: StreamerStats::default(),
@@ -233,7 +236,7 @@ impl WriteStreamer {
     /// width mismatches.
     pub fn push_wide(&mut self, word: &[u8]) {
         assert!(self.can_push_wide(), "wide push without space");
-        let transformed = self.chain.process(word);
+        let transformed = self.chain.process_into(word, &mut self.ext_scratch);
         assert_eq!(
             transformed.len(),
             self.channels.len() * self.word_bytes,
@@ -245,7 +248,7 @@ impl WriteStreamer {
             .iter_mut()
             .zip(transformed.chunks(self.word_bytes))
         {
-            channel.accept(chunk.to_vec(), |addr| map_checked(remapper, addr));
+            channel.accept(Word::from_slice(chunk), |addr| map_checked(remapper, addr));
         }
         self.stats.wide_words.inc();
     }

@@ -15,6 +15,16 @@ pub enum MemError {
         /// The offending value.
         value: usize,
     },
+    /// The bank word width exceeds the fixed inline [`Word`] capacity the
+    /// allocation-free response path relies on.
+    ///
+    /// [`Word`]: crate::Word
+    WordTooWide {
+        /// Requested bank width in bytes.
+        width: usize,
+        /// Maximum supported width ([`crate::Word::CAPACITY`]).
+        max: usize,
+    },
     /// The GIMA group size must divide the total bank count.
     GroupTooLarge {
         /// Banks per group requested.
@@ -56,6 +66,9 @@ impl fmt::Display for MemError {
                     f,
                     "{parameter} must be a non-zero power of two, got {value}"
                 )
+            }
+            MemError::WordTooWide { width, max } => {
+                write!(f, "bank width of {width} bytes exceeds the {max}-byte word")
             }
             MemError::GroupTooLarge { group, banks } => {
                 write!(f, "bank group of {group} does not divide {banks} banks")

@@ -26,11 +26,15 @@
 //! # Ok::<(), dm_mem::MemError>(())
 //! ```
 
+// The cycle kernel lives here: performance lints are errors, not hints.
+#![deny(clippy::perf)]
+
 pub mod addr;
 pub mod error;
 pub mod remap;
 pub mod scratchpad;
 pub mod subsystem;
+pub mod word;
 
 pub use addr::{Addr, BankLocation};
 pub use error::MemError;
@@ -39,3 +43,4 @@ pub use scratchpad::{MemConfig, Scratchpad};
 pub use subsystem::{
     LatencyTelemetry, MemOp, MemRequest, MemResponse, MemStats, MemorySubsystem, RequesterId,
 };
+pub use word::Word;

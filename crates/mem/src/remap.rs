@@ -347,6 +347,9 @@ mod tests {
     /// bank = [ group | bank-in-group ]
     /// row  = [ row-within-group ]
     /// ```
+    // Referenced only inside `proptest!` blocks, which the vendored
+    // stand-in discards wholesale.
+    #[allow(dead_code)]
     fn bit_permuted(word: u64, num_banks: u64, group: u64, rows: u64) -> BankLocation {
         let gb = group.trailing_zeros();
         let rb = rows.trailing_zeros();

@@ -32,8 +32,10 @@ impl MemConfig {
     /// # Errors
     ///
     /// Returns [`MemError::NotPowerOfTwo`] if any dimension is not a
-    /// non-zero power of two; the address remapper's bit permutation
-    /// requires power-of-two geometry.
+    /// non-zero power of two (the address remapper's bit permutation
+    /// requires power-of-two geometry), or [`MemError::WordTooWide`] if the
+    /// bank width exceeds [`Word::CAPACITY`](crate::Word::CAPACITY) — the
+    /// crossbar carries words inline, never on the heap.
     pub fn new(
         num_banks: usize,
         bank_width_bytes: usize,
@@ -50,6 +52,12 @@ impl MemConfig {
                     value,
                 });
             }
+        }
+        if bank_width_bytes > crate::word::Word::CAPACITY {
+            return Err(MemError::WordTooWide {
+                width: bank_width_bytes,
+                max: crate::word::Word::CAPACITY,
+            });
         }
         Ok(MemConfig {
             num_banks,
@@ -266,6 +274,15 @@ mod tests {
         assert!(matches!(
             MemConfig::new(4, 8, 0),
             Err(MemError::NotPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn config_rejects_word_wider_than_inline_capacity() {
+        assert!(MemConfig::new(4, crate::word::Word::CAPACITY, 16).is_ok());
+        assert!(matches!(
+            MemConfig::new(4, 2 * crate::word::Word::CAPACITY, 16),
+            Err(MemError::WordTooWide { .. })
         ));
     }
 

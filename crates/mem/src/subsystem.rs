@@ -33,6 +33,7 @@ use serde::{Deserialize, Serialize};
 use crate::addr::BankLocation;
 use crate::error::MemError;
 use crate::scratchpad::{MemConfig, Scratchpad};
+use crate::word::Word;
 
 /// Identifier of a registered requester (one per streamer channel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -60,7 +61,7 @@ pub enum MemOp {
     /// Write one full word (optionally byte-masked).
     Write {
         /// The word to store; must be exactly one bank word wide.
-        data: Vec<u8>,
+        data: Word,
         /// Optional byte strobes; `None` writes all bytes.
         mask: Option<Vec<bool>>,
     },
@@ -89,14 +90,17 @@ pub struct MemRequest {
 }
 
 /// A read response delivered after the bank latency.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy`: the payload is an inline [`Word`], so handing a response to a
+/// channel is a fixed-size move with no heap traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemResponse {
     /// The requester the data belongs to.
     pub requester: RequesterId,
     /// Tag of the originating request.
     pub tag: u64,
     /// The full word read.
-    pub data: Vec<u8>,
+    pub data: Word,
 }
 
 /// Access statistics maintained by the subsystem.
@@ -106,8 +110,14 @@ pub struct MemStats {
     pub reads: Counter,
     /// Granted write word accesses.
     pub writes: Counter,
-    /// Requests submitted (including retries after conflicts).
+    /// Unique requests submitted. A request retried after a lost
+    /// arbitration is *not* counted again, so at drain
+    /// `submissions == reads + writes` exactly (Fig. 7 access accounting).
     pub submissions: Counter,
+    /// Retry submissions of an already-issued request after a lost
+    /// arbitration. `submissions + resubmissions` is the total crossbar
+    /// port pressure.
+    pub resubmissions: Counter,
     /// Conflict events: for each bank and cycle with `k > 1` requests,
     /// `k - 1` conflicts are recorded.
     pub conflicts: Counter,
@@ -184,6 +194,16 @@ pub struct MemorySubsystem {
     in_flight: VecDeque<InFlightRead>,
     /// Grant flags from the last arbitration, indexed by requester.
     grants: Vec<bool>,
+    /// Persistent arbitration scratch: per-bank submission-index buckets.
+    /// Only the banks listed in `touched_banks` hold entries; they are
+    /// cleared at the start of the next arbitration, so a quiet bank costs
+    /// nothing and no per-cycle allocation happens.
+    bank_buckets: Vec<Vec<usize>>,
+    /// Banks with at least one submission this cycle (unsorted until
+    /// arbitration, which processes them in ascending bank order).
+    touched_banks: Vec<usize>,
+    /// Persistent scratch for one bank's contending requester indices.
+    requester_scratch: Vec<usize>,
     per_bank_accesses: Vec<u64>,
     /// Issue cycle of each requester's currently pending request. Set on
     /// the first submit, cleared at the grant; retries keep the original
@@ -221,6 +241,9 @@ impl MemorySubsystem {
             submitted: Vec::new(),
             in_flight: VecDeque::new(),
             grants: Vec::new(),
+            bank_buckets: vec![Vec::new(); banks],
+            touched_banks: Vec::new(),
+            requester_scratch: Vec::new(),
             per_bank_accesses: vec![0; banks],
             issue_cycle: Vec::new(),
             per_bank_latency: vec![LatencyTelemetry::default(); banks],
@@ -351,9 +374,12 @@ impl MemorySubsystem {
         self.per_requester_latency.fill(LatencyTelemetry::default());
     }
 
-    /// Step 1 of a cycle: collect read responses whose latency has elapsed.
-    pub fn take_responses(&mut self) -> Vec<MemResponse> {
-        let mut out = Vec::new();
+    /// Step 1 of a cycle: deliver read responses whose latency has elapsed,
+    /// in issue order, to `deliver` — the allocation-free drain used by the
+    /// tick kernel.
+    ///
+    /// Responses are `Copy`, so the callback receives each one by value.
+    pub fn drain_responses(&mut self, mut deliver: impl FnMut(MemResponse)) {
         while let Some(front) = self.in_flight.front() {
             if front.due > self.cycle {
                 break;
@@ -369,8 +395,18 @@ impl MemorySubsystem {
             let requester = &mut self.per_requester_latency[read.response.requester.0];
             requester.service.record(service);
             requester.end_to_end.record(end_to_end);
-            out.push(read.response);
+            deliver(read.response);
         }
+    }
+
+    /// Step 1 of a cycle: collect read responses whose latency has elapsed.
+    ///
+    /// Convenience wrapper over [`drain_responses`](Self::drain_responses)
+    /// that allocates a fresh `Vec`; tests and one-shot tools use it, the
+    /// tick kernel drains in place.
+    pub fn take_responses(&mut self) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        self.drain_responses(|response| out.push(response));
         out
     }
 
@@ -398,12 +434,16 @@ impl MemorySubsystem {
         self.submitted[idx] = true;
         // Issue stamp: only the first submit of a request counts; a retry
         // after a lost arbitration resubmits the same request and keeps
-        // accruing queueing latency against the original issue cycle.
+        // accruing queueing latency against the original issue cycle. The
+        // same distinction drives the stats split: `submissions` counts
+        // unique requests, `resubmissions` the retries.
         if self.issue_cycle[idx].is_none() {
             self.issue_cycle[idx] = Some(self.cycle);
+            self.stats.submissions.inc();
+        } else {
+            self.stats.resubmissions.inc();
         }
         self.submissions.push(request);
-        self.stats.submissions.inc();
         Ok(())
     }
 
@@ -416,37 +456,46 @@ impl MemorySubsystem {
     pub fn arbitrate(&mut self) -> &[bool] {
         self.ensure_traffic_started();
         self.grants.fill(false);
-        // Group submissions per bank.
-        let num_banks = self.scratchpad.config().num_banks();
-        let mut per_bank: Vec<Vec<usize>> = vec![Vec::new(); num_banks];
-        for (i, req) in self.submissions.iter().enumerate() {
-            per_bank[req.loc.bank].push(i);
+        // Group submissions into the persistent per-bank buckets; only the
+        // banks touched last cycle need clearing, so a quiet crossbar does
+        // no work and nothing is allocated on the hot path.
+        for &bank in &self.touched_banks {
+            self.bank_buckets[bank].clear();
         }
-        for (bank, submission_indices) in per_bank.iter().enumerate() {
-            if submission_indices.is_empty() {
-                continue;
+        self.touched_banks.clear();
+        for (i, req) in self.submissions.iter().enumerate() {
+            let bucket = &mut self.bank_buckets[req.loc.bank];
+            if bucket.is_empty() {
+                self.touched_banks.push(req.loc.bank);
             }
-            if submission_indices.len() > 1 {
-                self.stats
-                    .conflicts
-                    .add(submission_indices.len() as u64 - 1);
+            bucket.push(i);
+        }
+        // Ascending bank order, matching the hardware's fixed port scan and
+        // keeping response issue order (and traces) deterministic.
+        self.touched_banks.sort_unstable();
+        for t in 0..self.touched_banks.len() {
+            let bank = self.touched_banks[t];
+            let contenders = self.bank_buckets[bank].len();
+            if contenders > 1 {
+                self.stats.conflicts.add(contenders as u64 - 1);
                 self.trace.emit(
                     self.cycle,
                     "xbar",
                     TraceEventKind::BankConflict {
                         bank,
-                        contenders: submission_indices.len() as u64,
+                        contenders: contenders as u64,
                     },
                 );
             }
-            let requesters: Vec<usize> = submission_indices
-                .iter()
-                .map(|&i| self.submissions[i].requester.0)
-                .collect();
+            self.requester_scratch.clear();
+            for &i in &self.bank_buckets[bank] {
+                self.requester_scratch.push(self.submissions[i].requester.0);
+            }
             let winner = self.arbiters[bank]
-                .grant_sparse(&requesters)
+                .grant_sparse(&self.requester_scratch)
                 .expect("non-empty request list always grants");
-            let submission_idx = submission_indices[requesters
+            let submission_idx = self.bank_buckets[bank][self
+                .requester_scratch
                 .iter()
                 .position(|&r| r == winner)
                 .expect("winner requested")];
@@ -463,7 +512,7 @@ impl MemorySubsystem {
             match &request.op {
                 MemOp::Read => {
                     self.stats.reads.inc();
-                    let data = self.scratchpad.read_row(request.loc).to_vec();
+                    let data = Word::from_slice(self.scratchpad.read_row(request.loc));
                     self.in_flight.push_back(InFlightRead {
                         due: self.cycle + self.read_latency,
                         issued,
@@ -535,13 +584,16 @@ impl Instrumented for MemorySubsystem {
         registry.set_counter("reads", self.stats.reads.get());
         registry.set_counter("writes", self.stats.writes.get());
         registry.set_counter("submissions", self.stats.submissions.get());
+        registry.set_counter("resubmissions", self.stats.resubmissions.get());
         registry.set_counter("conflicts", self.stats.conflicts.get());
         registry.set_counter("cycles", self.cycle.get());
-        let submissions = self.stats.submissions.get();
-        if submissions > 0 {
+        // Conflict rate is per submission *attempt* (unique + retries), the
+        // crossbar port pressure — matching the pre-split semantics.
+        let attempts = self.stats.submissions.get() + self.stats.resubmissions.get();
+        if attempts > 0 {
             registry.set_gauge(
                 "conflict_rate",
-                self.stats.conflicts.get() as f64 / submissions as f64,
+                self.stats.conflicts.get() as f64 / attempts as f64,
             );
         }
         if self.per_bank_accesses.iter().any(|&n| n > 0) {
@@ -593,13 +645,13 @@ mod tests {
     fn read_after_write_roundtrip() {
         let mut mem = subsystem();
         let r = mem.register_requester("t");
-        let word = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let word = Word::from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
         mem.submit(MemRequest {
             requester: r,
             loc: BankLocation { bank: 1, row: 2 },
             tag: 0,
             op: MemOp::Write {
-                data: word.clone(),
+                data: word,
                 mask: None,
             },
         })
@@ -732,7 +784,7 @@ mod tests {
             loc: BankLocation { bank: 0, row: 0 },
             tag: 0,
             op: MemOp::Write {
-                data: vec![0xFF; 8],
+                data: Word::from_slice(&[0xFF; 8]),
                 mask: Some(vec![true, false, false, false, false, false, false, true]),
             },
         })
@@ -824,6 +876,7 @@ mod tests {
         assert_eq!(reg.get("reads").unwrap().as_f64(), 1.0);
         assert_eq!(reg.get("conflicts").unwrap().as_f64(), 1.0);
         assert_eq!(reg.get("submissions").unwrap().as_f64(), 2.0);
+        assert_eq!(reg.get("resubmissions").unwrap().as_f64(), 0.0);
         assert!(reg.get("conflict_rate").is_some());
         assert!(reg.get("bank_accesses.max").is_some());
     }
@@ -878,7 +931,7 @@ mod tests {
             loc: BankLocation { bank: 3, row: 0 },
             tag: 0,
             op: MemOp::Write {
-                data: vec![0; 8],
+                data: Word::zeroed(8),
                 mask: None,
             },
         })
@@ -913,7 +966,7 @@ mod tests {
                             loc: BankLocation { bank: 0, row: i },
                             tag: 0,
                             op: MemOp::Write {
-                                data: vec![i as u8; 8],
+                                data: Word::from_slice(&[i as u8; 8]),
                                 mask: None,
                             },
                         }
@@ -994,5 +1047,100 @@ mod tests {
             .latency_by_requester()
             .iter()
             .all(LatencyTelemetry::is_empty));
+    }
+
+    /// Drives one subsystem with a conflict-heavy mixed workload and
+    /// returns the `(tag, data)` stream a given drain strategy delivers.
+    fn run_scripted(drain: impl Fn(&mut MemorySubsystem) -> Vec<MemResponse>) -> Vec<(u64, Word)> {
+        let mut mem = subsystem();
+        let ids: Vec<_> = (0..3)
+            .map(|i| mem.register_requester(format!("r{i}")))
+            .collect();
+        for (bank, value) in [(0usize, 11u8), (1, 22), (2, 33)] {
+            mem.scratchpad_mut()
+                .write_row_full(BankLocation { bank, row: 0 }, &[value; 8]);
+        }
+        let mut delivered = Vec::new();
+        let mut pending: Vec<Option<MemRequest>> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| Some(read(id, i % 2, 0, i as u64)))
+            .collect();
+        let mut issued = [1u64; 3];
+        for _ in 0..30 {
+            delivered.extend(drain(&mut mem).into_iter().map(|r| (r.tag, r.data)));
+            for (i, slot) in pending.iter_mut().enumerate() {
+                if slot.is_none() && issued[i] < 6 {
+                    issued[i] += 1;
+                    *slot = Some(read(ids[i], i % 2, 0, 10 * i as u64 + issued[i]));
+                }
+                if let Some(req) = slot.clone() {
+                    mem.submit(req).unwrap();
+                }
+            }
+            let grants = mem.arbitrate().to_vec();
+            for (i, slot) in pending.iter_mut().enumerate() {
+                if grants[ids[i].index()] {
+                    *slot = None;
+                }
+            }
+        }
+        delivered.extend(drain(&mut mem).into_iter().map(|r| (r.tag, r.data)));
+        delivered
+    }
+
+    #[test]
+    fn drain_callback_matches_take_responses_order() {
+        let via_take = run_scripted(MemorySubsystem::take_responses);
+        let via_drain = run_scripted(|mem| {
+            let mut out = Vec::new();
+            mem.drain_responses(|response| out.push(response));
+            out
+        });
+        assert!(!via_take.is_empty(), "workload must deliver responses");
+        assert_eq!(via_take, via_drain);
+    }
+
+    #[test]
+    fn submissions_count_unique_requests_and_resubmissions_count_retries() {
+        let mut mem = subsystem();
+        let a = mem.register_requester("a");
+        let b = mem.register_requester("b");
+        // Both hit bank 0; the loser retries once.
+        mem.submit(read(a, 0, 0, 0)).unwrap();
+        mem.submit(read(b, 0, 1, 0)).unwrap();
+        let grants = mem.arbitrate().to_vec();
+        let loser = if grants[a.index()] { b } else { a };
+        mem.take_responses();
+        mem.submit(read(loser, 0, if loser == a { 0 } else { 1 }, 0))
+            .unwrap();
+        mem.arbitrate();
+        mem.take_responses();
+        assert_eq!(mem.stats().submissions.get(), 2, "two unique requests");
+        assert_eq!(mem.stats().resubmissions.get(), 1, "one retry");
+        assert_eq!(
+            mem.stats().submissions.get(),
+            mem.stats().reads.get() + mem.stats().writes.get(),
+            "at drain, unique submissions equal granted accesses"
+        );
+    }
+
+    #[test]
+    fn arbitration_scratch_reuse_is_invisible_across_cycles() {
+        // Alternate which banks are touched so the persistent buckets must
+        // be cleared correctly between cycles.
+        let mut mem = subsystem();
+        let a = mem.register_requester("a");
+        let b = mem.register_requester("b");
+        for cycle in 0..8u64 {
+            let bank = (cycle % 3) as usize;
+            mem.submit(read(a, bank, 0, cycle)).unwrap();
+            mem.submit(read(b, (bank + 1) % 4, 0, cycle)).unwrap();
+            let grants = mem.arbitrate().to_vec();
+            assert!(grants[a.index()] && grants[b.index()], "no conflicts here");
+            assert_eq!(mem.take_responses().len(), 2);
+        }
+        assert_eq!(mem.stats().conflicts.get(), 0);
+        assert_eq!(mem.stats().reads.get(), 16);
     }
 }

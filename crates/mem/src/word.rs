@@ -1,0 +1,252 @@
+//! A fixed-capacity inline memory word.
+//!
+//! The per-cycle kernel moves one bank-word of data per granted read or
+//! write. Carrying those words as `Vec<u8>` puts a heap allocation on the
+//! hot path of every simulated access; [`Word`] instead stores the bytes
+//! inline (up to [`Word::CAPACITY`]) so responses, write payloads and
+//! channel FIFO entries are plain `Copy` values. [`MemConfig`] rejects bank
+//! widths beyond the capacity at construction, so inside the simulator a
+//! word always fits.
+//!
+//! [`MemConfig`]: crate::MemConfig
+//!
+//! # Examples
+//!
+//! ```
+//! use dm_mem::Word;
+//!
+//! let w = Word::from_slice(&[1, 2, 3, 4]);
+//! assert_eq!(w.len(), 4);
+//! assert_eq!(&w[..], &[1, 2, 3, 4]);
+//! assert_eq!(w, Word::from_slice(&[1, 2, 3, 4]));
+//! ```
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// One memory word: an inline byte array of at most [`Word::CAPACITY`]
+/// bytes, as wide as the configured bank word (`W_B`).
+///
+/// `Word` is `Copy`; moving one between the crossbar, the outstanding
+/// request manager and a channel FIFO is a fixed-size memcpy with no heap
+/// traffic. Unused tail bytes are always zero, which keeps derived-style
+/// equality and hashing consistent with the live prefix.
+#[derive(Clone, Copy)]
+pub struct Word {
+    len: u8,
+    bytes: [u8; Self::CAPACITY],
+}
+
+impl Word {
+    /// Maximum width of a word in bytes. Covers every power-of-two bank
+    /// width up to 512-bit; [`MemConfig::new`](crate::MemConfig::new)
+    /// rejects wider geometries.
+    pub const CAPACITY: usize = 64;
+
+    /// An empty (zero-length) word.
+    pub const EMPTY: Word = Word {
+        len: 0,
+        bytes: [0; Self::CAPACITY],
+    };
+
+    /// Builds a word from a byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than [`Word::CAPACITY`].
+    #[must_use]
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        assert!(
+            bytes.len() <= Self::CAPACITY,
+            "word of {} bytes exceeds inline capacity of {}",
+            bytes.len(),
+            Self::CAPACITY
+        );
+        let mut word = Self::EMPTY;
+        word.len = bytes.len() as u8;
+        word.bytes[..bytes.len()].copy_from_slice(bytes);
+        word
+    }
+
+    /// A zero-filled word of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`Word::CAPACITY`].
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        assert!(
+            len <= Self::CAPACITY,
+            "word of {len} bytes exceeds inline capacity of {}",
+            Self::CAPACITY
+        );
+        let mut word = Self::EMPTY;
+        word.len = len as u8;
+        word
+    }
+
+    /// Width of this word in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` for a zero-width word.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Mutable access to the live bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes[..self.len as usize]
+    }
+
+    /// Copies the live bytes into a fresh `Vec` (host-side use only; the
+    /// simulated hot path never needs this).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Word {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl Deref for Word {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for Word {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl AsRef<[u8]> for Word {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Word {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Word {}
+
+impl Hash for Word {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Word {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Word {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Word {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Word {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<&[u8]> for Word {
+    fn from(bytes: &[u8]) -> Self {
+        Self::from_slice(bytes)
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_length() {
+        let w = Word::from_slice(&[9, 8, 7]);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert_eq!(w.as_slice(), &[9, 8, 7]);
+        assert_eq!(w.to_vec(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn equality_ignores_capacity_tail() {
+        let a = Word::from_slice(&[1, 2]);
+        let mut b = Word::zeroed(2);
+        b.as_mut_slice().copy_from_slice(&[1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, Word::from_slice(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn compares_against_slices_and_vecs() {
+        let w = Word::from_slice(&[5; 8]);
+        assert_eq!(w, [5u8; 8]);
+        assert_eq!(w, vec![5u8; 8]);
+        assert_eq!(w, &[5u8; 8][..]);
+    }
+
+    #[test]
+    fn full_capacity_word_is_accepted() {
+        let w = Word::from_slice(&[0xAA; Word::CAPACITY]);
+        assert_eq!(w.len(), Word::CAPACITY);
+        assert!(w.iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds inline capacity")]
+    fn oversized_word_panics() {
+        let _ = Word::from_slice(&[0; Word::CAPACITY + 1]);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut w = Word::zeroed(4);
+        w[2] = 3;
+        assert_eq!(w, [0, 0, 3, 0]);
+    }
+
+    #[test]
+    fn empty_word() {
+        assert!(Word::EMPTY.is_empty());
+        assert_eq!(Word::default(), Word::EMPTY);
+        assert_eq!(Word::EMPTY.as_slice(), &[] as &[u8]);
+    }
+}

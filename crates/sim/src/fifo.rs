@@ -61,6 +61,12 @@ pub struct Fifo<T> {
     /// outstanding reservations; they become poppable only once all earlier
     /// reservations have been filled. Each entry is `Some(value)` for a
     /// direct push and `None` for a still-pending reservation.
+    ///
+    /// Invariant: when `tail` is non-empty its front is `None` — direct
+    /// pushes go straight to `items` while no reservation is outstanding,
+    /// and `promote_tail` strips leading `Some`s after every fill. The
+    /// oldest pending reservation is therefore always at the front, which
+    /// is what makes [`fill_reserved`](Self::fill_reserved) O(1).
     tail: VecDeque<Option<T>>,
     next_reserve_seq: u64,
     next_fill_seq: u64,
@@ -117,8 +123,18 @@ impl<T> Fifo<T> {
     }
 
     /// Number of outstanding (reserved but unfilled) slots.
+    ///
+    /// O(1): every reservation increments `next_reserve_seq` and every fill
+    /// increments `next_fill_seq`, so the difference is exactly the number
+    /// of `None` entries in the tail. Occupancy sampling calls this once
+    /// per channel per cycle, so it must not scan.
     pub fn outstanding(&self) -> usize {
-        self.tail.iter().filter(|slot| slot.is_none()).count()
+        debug_assert_eq!(
+            (self.next_reserve_seq - self.next_fill_seq) as usize,
+            self.tail.iter().filter(|slot| slot.is_none()).count(),
+            "sequence counters must track pending reservations exactly"
+        );
+        (self.next_reserve_seq - self.next_fill_seq) as usize
     }
 
     /// Highest number of committed slots observed; useful for sizing sweeps.
@@ -154,11 +170,16 @@ impl<T> Fifo<T> {
             "fifo reservation filled out of order"
         );
         self.next_fill_seq += 1;
+        // The oldest pending reservation is always the tail front (see the
+        // `tail` invariant), so no scan is needed.
         let pending = self
             .tail
-            .iter_mut()
-            .find(|entry| entry.is_none())
+            .front_mut()
             .expect("fill without outstanding reservation");
+        debug_assert!(
+            pending.is_none(),
+            "tail front must be the oldest pending reservation"
+        );
         *pending = Some(value);
         self.promote_tail();
     }
@@ -193,12 +214,15 @@ impl<T> Fifo<T> {
         self.items.front()
     }
 
-    /// Removes every element and reservation, resetting sequence tracking.
+    /// Removes every element and reservation, resetting sequence tracking
+    /// and the high-water mark: a cleared FIFO starts a fresh phase and
+    /// must not report the previous phase's peak into metrics.
     pub fn clear(&mut self) {
         self.items.clear();
         self.tail.clear();
         self.next_fill_seq = 0;
         self.next_reserve_seq = 0;
+        self.high_watermark = 0;
     }
 
     fn promote_tail(&mut self) {
@@ -328,6 +352,23 @@ mod tests {
         assert_eq!(fifo.pop(), Some(5));
     }
 
+    #[test]
+    fn clear_resets_high_watermark() {
+        let mut fifo = Fifo::new(4);
+        fifo.push(1).unwrap();
+        fifo.push(2).unwrap();
+        fifo.push(3).unwrap();
+        assert_eq!(fifo.high_watermark(), 3);
+        fifo.clear();
+        assert_eq!(
+            fifo.high_watermark(),
+            0,
+            "a cleared fifo must not report the previous phase's peak"
+        );
+        fifo.push(7).unwrap();
+        assert_eq!(fifo.high_watermark(), 1);
+    }
+
     proptest! {
         /// Regardless of how pushes, reserves and fills interleave, pop order
         /// equals commit order (reservation time for reserved slots, push
@@ -377,6 +418,152 @@ mod tests {
             }
             prop_assert_eq!(fifo.committed(), 0);
             prop_assert_eq!(popped, commit_order);
+        }
+
+    }
+
+    /// The pre-optimization implementation, kept verbatim as a reference
+    /// model: scan-count for `outstanding`, linear `find` for the fill
+    /// target. `clear` without a watermark reset was the bug this PR fixes,
+    /// so the reference models `clear` *with* the reset.
+    struct Reference {
+        capacity: usize,
+        items: std::collections::VecDeque<u32>,
+        tail: std::collections::VecDeque<Option<u32>>,
+        next_reserve_seq: u64,
+        next_fill_seq: u64,
+        high_watermark: usize,
+    }
+
+    impl Reference {
+        fn new(capacity: usize) -> Self {
+            Reference {
+                capacity,
+                items: std::collections::VecDeque::new(),
+                tail: std::collections::VecDeque::new(),
+                next_reserve_seq: 0,
+                next_fill_seq: 0,
+                high_watermark: 0,
+            }
+        }
+        fn committed(&self) -> usize {
+            self.items.len() + self.tail.len()
+        }
+        fn outstanding(&self) -> usize {
+            self.tail.iter().filter(|slot| slot.is_none()).count()
+        }
+        fn note_watermark(&mut self) {
+            self.high_watermark = self.high_watermark.max(self.committed());
+        }
+        fn try_reserve(&mut self) -> Option<u64> {
+            if self.committed() >= self.capacity {
+                return None;
+            }
+            let seq = self.next_reserve_seq;
+            self.next_reserve_seq += 1;
+            self.tail.push_back(None);
+            self.note_watermark();
+            Some(seq)
+        }
+        fn fill_reserved(&mut self, seq: u64, value: u32) {
+            assert_eq!(seq, self.next_fill_seq);
+            self.next_fill_seq += 1;
+            let pending = self
+                .tail
+                .iter_mut()
+                .find(|entry| entry.is_none())
+                .expect("fill without outstanding reservation");
+            *pending = Some(value);
+            while let Some(front) = self.tail.front() {
+                if front.is_some() {
+                    let value = self.tail.pop_front().flatten().unwrap();
+                    self.items.push_back(value);
+                } else {
+                    break;
+                }
+            }
+        }
+        fn push(&mut self, value: u32) -> bool {
+            if self.committed() >= self.capacity {
+                return false;
+            }
+            if self.tail.is_empty() {
+                self.items.push_back(value);
+            } else {
+                self.tail.push_back(Some(value));
+            }
+            self.note_watermark();
+            true
+        }
+        fn clear(&mut self) {
+            self.items.clear();
+            self.tail.clear();
+            self.next_fill_seq = 0;
+            self.next_reserve_seq = 0;
+            self.high_watermark = 0;
+        }
+    }
+
+    /// The O(1) `outstanding()` / front-fill implementation behaves
+    /// identically to the original O(n) scans, under many interleavings of
+    /// reserve / fill / push / pop / clear: same observable state and the
+    /// same slot chosen for every fill. (Deterministic xorshift-driven op
+    /// sequences; the vendored proptest stub does not execute generated
+    /// tests, so this is a plain test.)
+    #[test]
+    fn constant_time_paths_match_linear_reference() {
+        for seed in 1u64..=64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next_op = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % 5
+            };
+            let mut fifo: Fifo<u32> = Fifo::new(6);
+            let mut reference = Reference::new(6);
+            let mut pending: std::collections::VecDeque<ReservedSlot> =
+                std::collections::VecDeque::new();
+            let mut next_value = 0u32;
+            for _ in 0..256 {
+                match next_op() {
+                    0 => {
+                        let slot = fifo.try_reserve();
+                        let ref_seq = reference.try_reserve();
+                        assert_eq!(slot.map(ReservedSlot::sequence), ref_seq);
+                        if let Some(slot) = slot {
+                            pending.push_back(slot);
+                        }
+                    }
+                    1 => {
+                        if let Some(slot) = pending.pop_front() {
+                            next_value += 1;
+                            fifo.fill_reserved(slot, next_value);
+                            reference.fill_reserved(slot.sequence(), next_value);
+                        }
+                    }
+                    2 => {
+                        next_value += 1;
+                        assert_eq!(fifo.push(next_value).is_ok(), reference.push(next_value));
+                    }
+                    3 => {
+                        assert_eq!(fifo.pop(), reference.items.pop_front());
+                    }
+                    _ => {
+                        fifo.clear();
+                        reference.clear();
+                        pending.clear();
+                    }
+                }
+                assert_eq!(fifo.len(), reference.items.len(), "seed {seed}");
+                assert_eq!(fifo.outstanding(), reference.outstanding(), "seed {seed}");
+                assert_eq!(fifo.committed(), reference.committed(), "seed {seed}");
+                assert_eq!(
+                    fifo.high_watermark(),
+                    reference.high_watermark,
+                    "seed {seed}"
+                );
+            }
         }
     }
 }

@@ -37,6 +37,9 @@
 //! assert_eq!(Cycle::ZERO + 3, Cycle::new(3));
 //! ```
 
+// The cycle kernel lives here: performance lints are errors, not hints.
+#![deny(clippy::perf)]
+
 pub mod arbiter;
 pub mod cycle;
 pub mod fifo;

@@ -15,7 +15,7 @@
 //! overlap).
 
 use dm_compiler::{CopyPlan, WriteSource};
-use dm_mem::{Addr, AddressRemapper, MemOp, MemRequest, MemorySubsystem, RequesterId};
+use dm_mem::{Addr, AddressRemapper, MemOp, MemRequest, MemorySubsystem, RequesterId, Word};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SystemError;
@@ -81,10 +81,10 @@ impl CopyEngine {
         let write_remap = AddressRemapper::new(&mem_cfg, plan.write_mode)?;
         let word = mem_cfg.bank_width_bytes();
 
-        let mut read_data: Vec<Option<Vec<u8>>> = vec![None; plan.reads.len()];
+        let mut read_data: Vec<Option<Word>> = vec![None; plan.reads.len()];
         // Per-channel pending request: Some(read index) awaiting grant.
         let mut read_pending: Vec<Option<usize>> = vec![None; self.read_ports.len()];
-        let mut write_pending: Vec<Option<(u64, Vec<u8>)>> = vec![None; self.write_ports.len()];
+        let mut write_pending: Vec<Option<(u64, Word)>> = vec![None; self.write_ports.len()];
         let mut next_read = 0usize;
         let mut next_write = 0usize;
         let mut writes_done = 0usize;
@@ -93,9 +93,7 @@ impl CopyEngine {
 
         while writes_done < plan.writes.len() || next_read < plan.reads.len() {
             // Land responses.
-            for resp in mem.take_responses() {
-                read_data[resp.tag as usize] = Some(resp.data);
-            }
+            mem.drain_responses(|resp| read_data[resp.tag as usize] = Some(resp.data));
             // Issue reads in order.
             for (ch, port) in self.read_ports.iter().enumerate() {
                 if read_pending[ch].is_none() && next_read < plan.reads.len() {
@@ -121,20 +119,17 @@ impl CopyEngine {
                         next_write += 1;
                     }
                 }
-                if let Some((addr, data)) = &write_pending[ch] {
-                    let loc = write_remap.map_byte(Addr::new(*addr))?;
+                if let Some((addr, data)) = write_pending[ch] {
+                    let loc = write_remap.map_byte(Addr::new(addr))?;
                     mem.submit(MemRequest {
                         requester: *port,
                         loc,
                         tag: 0,
-                        op: MemOp::Write {
-                            data: data.clone(),
-                            mask: None,
-                        },
+                        op: MemOp::Write { data, mask: None },
                     })?;
                 }
             }
-            let grants = mem.arbitrate().to_vec();
+            let grants = mem.arbitrate();
             for (ch, port) in self.read_ports.iter().enumerate() {
                 if read_pending[ch].is_some() && grants[port.index()] {
                     read_pending[ch] = None;
@@ -156,9 +151,7 @@ impl CopyEngine {
         }
         // Drain the last in-flight read responses (cheap, no extra cycles:
         // they overlap with whatever runs next).
-        for resp in mem.take_responses() {
-            read_data[resp.tag as usize] = Some(resp.data);
-        }
+        mem.drain_responses(|resp| read_data[resp.tag as usize] = Some(resp.data));
         Ok(CopyStats {
             cycles,
             words_read: plan.reads.len() as u64,
@@ -169,18 +162,14 @@ impl CopyEngine {
 
 /// Builds a write word from completed reads, or `None` if a dependency is
 /// still in flight.
-fn materialize(
-    source: &WriteSource,
-    read_data: &[Option<Vec<u8>>],
-    word: usize,
-) -> Option<Vec<u8>> {
+fn materialize(source: &WriteSource, read_data: &[Option<Word>], word: usize) -> Option<Word> {
     match source {
-        WriteSource::Word(i) => read_data[*i].clone(),
+        WriteSource::Word(i) => read_data[*i],
         WriteSource::Gather(offsets) => {
-            let mut out = Vec::with_capacity(offsets.len());
-            for &off in offsets {
+            let mut out = Word::zeroed(offsets.len());
+            for (i, &off) in offsets.iter().enumerate() {
                 let data = read_data[off / word].as_ref()?;
-                out.push(data[off % word]);
+                out[i] = data[off % word];
             }
             Some(out)
         }

@@ -133,7 +133,7 @@ pub fn run_pool(
         let produces = unit.k_counter == unit.k_steps - 1;
         if a.can_pop_wide() && (!produces || out.can_push_wide()) {
             let tile = a.pop_wide();
-            if let Some(pooled) = unit.step(&tile) {
+            if let Some(pooled) = unit.step(tile) {
                 out.push_wide(&pooled);
             }
         }

@@ -384,14 +384,12 @@ pub fn run_compiled(
         b.begin_cycle();
         c.begin_cycle();
         clock.lap(Phase::Streamers);
-        for resp in mem.take_responses() {
-            match routes[resp.requester.index()] {
-                Route::A => a.accept_response(resp),
-                Route::B => b.accept_response(resp),
-                Route::C => c.accept_response(resp),
-                Route::None => unreachable!("response for a write/copy port"),
-            }
-        }
+        mem.drain_responses(|resp| match routes[resp.requester.index()] {
+            Route::A => a.accept_response(resp),
+            Route::B => b.accept_response(resp),
+            Route::C => c.accept_response(resp),
+            Route::None => unreachable!("response for a write/copy port"),
+        });
         clock.lap(Phase::Memory);
         // The accelerator handshake: fire when all operand ports are valid
         // and the output port is ready (on tile-completing steps).
@@ -444,7 +442,7 @@ pub fn run_compiled(
             let a_word = a.pop_wide();
             let b_word = b.pop_wide();
             let c_word = needs_c.then(|| c.pop_wide());
-            if let Some(d_tile) = datapath.step(&a_word, &b_word, c_word.as_deref()) {
+            if let Some(d_tile) = datapath.step(a_word, b_word, c_word) {
                 let out_word = if config.quantized {
                     quant.process(&d_tile)
                 } else {
@@ -465,12 +463,12 @@ pub fn run_compiled(
         c.generate_and_issue(&mut mem);
         out.generate_and_issue(&mut mem);
         clock.lap(Phase::Streamers);
-        let grants = mem.arbitrate().to_vec();
+        let grants = mem.arbitrate();
         clock.lap(Phase::Memory);
-        a.handle_grants(&grants);
-        b.handle_grants(&grants);
-        c.handle_grants(&grants);
-        out.handle_grants(&grants);
+        a.handle_grants(grants);
+        b.handle_grants(grants);
+        c.handle_grants(grants);
+        out.handle_grants(grants);
         clock.lap(Phase::Streamers);
         compute_cycles += 1;
         debug_assert_eq!(
@@ -599,6 +597,11 @@ pub fn run_compiled(
     };
 
     let stats = mem.stats();
+    debug_assert_eq!(
+        stats.submissions.get(),
+        stats.reads.get() + stats.writes.get(),
+        "every unique submission must retire exactly once by drain"
+    );
     Ok(RunReport {
         workload: program.workload,
         features: program.features,

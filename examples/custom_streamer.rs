@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             streamer.accept_response(resp);
         }
         if streamer.can_pop_wide() {
-            words.push(streamer.pop_wide());
+            words.push(streamer.pop_wide().to_vec());
         }
         streamer.generate_and_issue(&mut mem);
         let grants = mem.arbitrate().to_vec();
