@@ -1,0 +1,167 @@
+//! Mode-mismatch advisor: ranks legal addressing modes by predicted
+//! conflict pressure for one stream's spatial burst shape.
+//!
+//! The score of a mode is the number of channel pairs satisfying the
+//! necessary collision conditions of [`crate::conflict`] (delta ≡ 0 mod g
+//! and |delta| < group span). A mode is only *placement-compatible* when
+//! reinterpreting the stream's existing footprint hull under it does not
+//! spill the stream onto banks owned by concurrently active streams — a
+//! mode switch rewires the bit permutation, it does not move the data.
+
+use dm_mem::{AddressingMode, MemConfig};
+
+use crate::pattern::{BankSet, StreamSummary};
+
+/// One ranked addressing mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeScore {
+    /// The candidate mode.
+    pub mode: AddressingMode,
+    /// Channel pairs that could collide per burst under this mode.
+    pub candidate_pairs: usize,
+    /// Banks the stream's footprint hull would occupy under this mode.
+    pub banks: BankSet,
+}
+
+/// Every mode legal for the geometry: NIMA, GIMA for each power-of-two
+/// divisor, FIMA (deduplicated — FIMA ≡ GIMA(num_banks), NIMA ≡ GIMA(1)).
+#[must_use]
+pub fn legal_modes(num_banks: usize) -> Vec<AddressingMode> {
+    let mut modes = vec![AddressingMode::NonInterleaved];
+    let mut g = 2;
+    while g < num_banks {
+        modes.push(AddressingMode::GroupedInterleaved { group_banks: g });
+        g *= 2;
+    }
+    if num_banks > 1 {
+        modes.push(AddressingMode::FullyInterleaved);
+    }
+    modes
+}
+
+/// Scores one mode for a stream: candidate collision pairs plus the bank
+/// set its footprint hull would occupy.
+#[must_use]
+pub fn score_mode(s: &StreamSummary, mode: AddressingMode, mem: &MemConfig) -> ModeScore {
+    let g = mode.group_banks(mem.num_banks()) as i64;
+    let span = g * mem.rows_per_bank() as i64;
+    let mut candidate_pairs = 0;
+    for i in 0..s.offsets_words.len() {
+        for j in i + 1..s.offsets_words.len() {
+            let d = s.offsets_words[j] - s.offsets_words[i];
+            if d.rem_euclid(g) == 0 && d.abs() < span {
+                candidate_pairs += 1;
+            }
+        }
+    }
+    let (lo, hi) = s.word_hull;
+    let banks = crate::pattern::hull_bank_set(lo, hi, g as u64, mem);
+    ModeScore {
+        mode,
+        candidate_pairs,
+        banks,
+    }
+}
+
+/// Ranks all legal modes for a stream, best (fewest candidate pairs) first.
+/// Ties prefer larger groups (more interleaving ⇒ more burst parallelism),
+/// with the stream's current mode winning ties at equal group size.
+///
+/// `occupied_by_others` is the union of the bank sets of the concurrently
+/// active streams; modes whose reinterpreted footprint intersects it are
+/// excluded as placement-incompatible. Pass an empty set for a stream
+/// analyzed in isolation.
+#[must_use]
+pub fn rank_modes(
+    s: &StreamSummary,
+    mem: &MemConfig,
+    occupied_by_others: &BankSet,
+) -> Vec<ModeScore> {
+    let mut scores: Vec<ModeScore> = legal_modes(mem.num_banks())
+        .into_iter()
+        .map(|mode| score_mode(s, mode, mem))
+        .filter(|score| score.mode == s.mode || !score.banks.intersects(occupied_by_others))
+        .collect();
+    scores.sort_by_key(|score| {
+        (
+            score.candidate_pairs,
+            std::cmp::Reverse(score.mode.group_banks(mem.num_banks())),
+            score.mode != s.mode,
+        )
+    });
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::summarize;
+    use datamaestro::{DesignConfig, RuntimeConfig, StreamerMode};
+
+    fn mem() -> MemConfig {
+        MemConfig::new(32, 8, 1024).unwrap()
+    }
+
+    fn summary(mode: AddressingMode) -> StreamSummary {
+        let design = DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds([8])
+            .build()
+            .unwrap();
+        let rt = RuntimeConfig::builder()
+            .temporal([8], [64])
+            .spatial_strides([8])
+            .addressing_mode(mode)
+            .build();
+        summarize(&design, &rt, &mem()).unwrap()
+    }
+
+    #[test]
+    fn legal_modes_cover_all_divisors() {
+        let modes = legal_modes(32);
+        assert_eq!(modes.len(), 6, "NIMA, GIMA(2,4,8,16), FIMA");
+        assert_eq!(modes[0], AddressingMode::NonInterleaved);
+        assert_eq!(modes[5], AddressingMode::FullyInterleaved);
+    }
+
+    #[test]
+    fn fima_beats_nima_for_consecutive_bursts() {
+        let s = summary(AddressingMode::NonInterleaved);
+        let ranked = rank_modes(&s, &mem(), &BankSet::empty(32));
+        assert_eq!(ranked[0].mode, AddressingMode::FullyInterleaved);
+        assert_eq!(ranked[0].candidate_pairs, 0);
+        let nima = ranked
+            .iter()
+            .find(|m| m.mode == AddressingMode::NonInterleaved)
+            .unwrap();
+        assert_eq!(nima.candidate_pairs, 28);
+    }
+
+    #[test]
+    fn placement_incompatible_modes_are_excluded() {
+        let s = summary(AddressingMode::GroupedInterleaved { group_banks: 8 });
+        // Other streams own banks 8..32: wider interleavings would spill.
+        let mut occupied = BankSet::empty(32);
+        for b in 8..32 {
+            occupied.insert(b);
+        }
+        let ranked = rank_modes(&s, &mem(), &occupied);
+        assert!(ranked
+            .iter()
+            .all(|m| m.mode == s.mode || !m.banks.intersects(&occupied)));
+        assert!(!ranked
+            .iter()
+            .any(|m| m.mode == AddressingMode::FullyInterleaved));
+        assert_eq!(ranked[0].mode, s.mode, "GIMA(8) already optimal");
+    }
+
+    #[test]
+    fn current_mode_is_always_listed() {
+        let s = summary(AddressingMode::NonInterleaved);
+        let mut occupied = BankSet::empty(32);
+        for b in 0..32 {
+            occupied.insert(b);
+        }
+        let ranked = rank_modes(&s, &mem(), &occupied);
+        assert!(ranked.iter().any(|m| m.mode == s.mode));
+    }
+}

@@ -1,0 +1,453 @@
+//! Pattern summarization: checked footprints and physical bank sets.
+//!
+//! Everything downstream (conflict prediction, hazard detection, the mode
+//! advisor) works on a [`StreamSummary`]: the stream's loop nest reduced to
+//! word-granular quantities plus its *exact* byte footprint hull and the
+//! exact set of banks the hull can touch under the stream's addressing
+//! mode. All arithmetic is checked (`i128` accumulation), mirroring the
+//! `PatternTooLarge` / `PatternOutOfBounds` machinery of the dynamic
+//! binder but without constructing an AGU (which asserts instead of
+//! reporting).
+
+use datamaestro::agu::SpatialAgu;
+use datamaestro::{DesignConfig, RuntimeConfig};
+use dm_mem::{AddressingMode, MemConfig};
+
+use crate::diagnostic::{Diagnostic, LintCode};
+
+/// A set of physical banks, stored as a bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankSet {
+    bits: Vec<u64>,
+    num_banks: usize,
+}
+
+impl BankSet {
+    /// An empty set over `num_banks` banks.
+    #[must_use]
+    pub fn empty(num_banks: usize) -> Self {
+        BankSet {
+            bits: vec![0; num_banks.div_ceil(64)],
+            num_banks,
+        }
+    }
+
+    /// Inserts one bank.
+    pub fn insert(&mut self, bank: usize) {
+        assert!(bank < self.num_banks, "bank {bank} out of range");
+        self.bits[bank / 64] |= 1 << (bank % 64);
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, bank: usize) -> bool {
+        bank < self.num_banks && self.bits[bank / 64] & (1 << (bank % 64)) != 0
+    }
+
+    /// Number of banks in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no bank is in the set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when the two sets share at least one bank.
+    #[must_use]
+    pub fn intersects(&self, other: &BankSet) -> bool {
+        self.bits.iter().zip(&other.bits).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// The banks in ascending order (for messages).
+    #[must_use]
+    pub fn iter_banks(&self) -> Vec<usize> {
+        (0..self.num_banks).filter(|&b| self.contains(b)).collect()
+    }
+}
+
+impl std::fmt::Display for BankSet {
+    /// Compact range display, e.g. `{0-7, 24}`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let banks = self.iter_banks();
+        write!(f, "{{")?;
+        let mut i = 0;
+        let mut first = true;
+        while i < banks.len() {
+            let start = banks[i];
+            let mut end = start;
+            while i + 1 < banks.len() && banks[i + 1] == end + 1 {
+                i += 1;
+                end = banks[i];
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if end > start {
+                write!(f, "{start}-{end}")?;
+            } else {
+                write!(f, "{start}")?;
+            }
+            i += 1;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A stream's loop nest reduced to word-granular quantities plus exact
+/// footprint information. Produced by [`summarize`].
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Stream name (from the design).
+    pub name: String,
+    /// Addressing mode the stream runs under.
+    pub mode: AddressingMode,
+    /// Effective banks per group under `mode` (`N_BG`).
+    pub group: u64,
+    /// Words per group (`group × rows_per_bank`) — the span after which the
+    /// bit permutation advances to the next bank group.
+    pub group_words: u64,
+    /// Per-channel spatial offsets, in words.
+    pub offsets_words: Vec<i64>,
+    /// Temporal bounds, innermost first.
+    pub temporal_bounds: Vec<u64>,
+    /// Temporal strides in words, innermost first.
+    pub temporal_strides_words: Vec<i64>,
+    /// Base address, in words.
+    pub base_word: u64,
+    /// Total temporal steps (bursts) of the nest.
+    pub steps: u64,
+    /// Inclusive word-index hull `[min, max]` the pattern can touch.
+    pub word_hull: (u64, u64),
+    /// Exact set of banks any address inside the hull maps to.
+    pub banks: BankSet,
+    /// Inclusive physical row hull `[min, max]` over all touched banks.
+    pub row_hull: (u64, u64),
+}
+
+/// Summarizes one stream, performing the checked structural / alignment /
+/// bounds validation. On failure returns the diagnostics explaining why;
+/// the stream is then excluded from the deeper analyses.
+///
+/// # Errors
+///
+/// Returns `DM-CONFIG` for structural mismatches and overflowing nests,
+/// `DM-UNALIGNED` for sub-word bases/strides/offsets, `DM-OOB` when the
+/// footprint hull leaves the scratchpad address space, and `DM-CONFIG` if
+/// the addressing mode is illegal for the geometry.
+pub fn summarize(
+    design: &DesignConfig,
+    runtime: &RuntimeConfig,
+    mem: &MemConfig,
+) -> Result<StreamSummary, Vec<Diagnostic>> {
+    let name = design.name().to_owned();
+    if let Err(e) = runtime.validate(design) {
+        return Err(vec![Diagnostic::error(
+            LintCode::Config,
+            name,
+            format!("runtime configuration rejected: {e}"),
+        )]);
+    }
+    let word = mem.bank_width_bytes() as u64;
+    let Some(group) = runtime.addressing_mode.checked_group_banks(mem.num_banks()) else {
+        return Err(vec![Diagnostic::error(
+            LintCode::Config,
+            name,
+            format!(
+                "addressing mode {} is illegal for {} banks (group must be a \
+                 power of two dividing the bank count)",
+                runtime.addressing_mode,
+                mem.num_banks()
+            ),
+        )]);
+    };
+
+    let mut diags = Vec::new();
+    let misaligned = |v: i64| v.rem_euclid(word as i64) != 0;
+    if !runtime.base.is_multiple_of(word) {
+        diags.push(Diagnostic::error(
+            LintCode::Unaligned,
+            &name,
+            format!(
+                "base address {:#x} is not {word}-byte word-aligned",
+                runtime.base
+            ),
+        ));
+    }
+    if runtime.temporal_strides.iter().copied().any(misaligned) {
+        diags.push(Diagnostic::error(
+            LintCode::Unaligned,
+            &name,
+            format!(
+                "temporal strides {:?} contain a sub-word stride",
+                runtime.temporal_strides
+            ),
+        ));
+    }
+    let spatial = SpatialAgu::new(design.spatial_bounds(), &runtime.spatial_strides);
+    if spatial.offsets().iter().copied().any(misaligned) {
+        diags.push(Diagnostic::error(
+            LintCode::Unaligned,
+            &name,
+            format!(
+                "spatial strides {:?} produce a sub-word channel offset",
+                runtime.spatial_strides
+            ),
+        ));
+    }
+    if !diags.is_empty() {
+        return Err(diags);
+    }
+
+    let Some(steps) = runtime.checked_total_temporal_steps() else {
+        return Err(vec![Diagnostic::error(
+            LintCode::Config,
+            name,
+            "temporal bound product overflows u64 (pattern too large)".to_owned(),
+        )]);
+    };
+
+    // Checked footprint hull: per-dimension extremes are independent for
+    // affine patterns (same math as `TemporalAgu::address_range`, but in
+    // i128 so pathological strides report instead of asserting).
+    let mut min = i128::from(runtime.base);
+    let mut max = i128::from(runtime.base);
+    for (&bound, &stride) in runtime
+        .temporal_bounds
+        .iter()
+        .zip(&runtime.temporal_strides)
+    {
+        let reach = i128::from(stride) * (i128::from(bound) - 1);
+        if reach < 0 {
+            min += reach;
+        } else {
+            max += reach;
+        }
+    }
+    let s_min = spatial.offsets().iter().copied().min().unwrap_or(0);
+    let s_max = spatial.offsets().iter().copied().max().unwrap_or(0);
+    min += i128::from(s_min);
+    max += i128::from(s_max) + i128::from(word) - 1;
+    let capacity = i128::from(mem.capacity_bytes());
+    if min < 0 || max >= capacity {
+        return Err(vec![Diagnostic::error(
+            LintCode::Oob,
+            name,
+            format!(
+                "pattern footprint [{min}, {max}] leaves the scratchpad \
+                 address space [0, {capacity})"
+            ),
+        )]);
+    }
+
+    let min_word = (min as u64) / word;
+    let max_word = (max as u64) / word;
+    let rows = mem.rows_per_bank() as u64;
+    let group_words = group as u64 * rows;
+    let (banks, row_hull) = hull_banks_and_rows(min_word, max_word, group as u64, rows, mem);
+
+    Ok(StreamSummary {
+        name,
+        mode: runtime.addressing_mode,
+        group: group as u64,
+        group_words,
+        offsets_words: spatial.offsets().iter().map(|&o| o / word as i64).collect(),
+        temporal_bounds: runtime.temporal_bounds.clone(),
+        temporal_strides_words: runtime
+            .temporal_strides
+            .iter()
+            .map(|&s| s / word as i64)
+            .collect(),
+        base_word: runtime.base / word,
+        steps,
+        word_hull: (min_word, max_word),
+        banks,
+        row_hull,
+    })
+}
+
+/// The exact bank set of an inclusive word-index interval under GIMA(g).
+#[must_use]
+pub fn hull_bank_set(min_word: u64, max_word: u64, g: u64, mem: &MemConfig) -> BankSet {
+    hull_banks_and_rows(min_word, max_word, g, mem.rows_per_bank() as u64, mem).0
+}
+
+/// The exact bank set and row hull of a word-index interval under GIMA(g).
+///
+/// Inside one group, consecutive words round-robin over the group's `g`
+/// banks, so an interval piece of length `≥ g` covers the whole group and a
+/// shorter piece covers `len` specific banks starting at `start mod g`.
+fn hull_banks_and_rows(
+    min_word: u64,
+    max_word: u64,
+    g: u64,
+    rows: u64,
+    mem: &MemConfig,
+) -> (BankSet, (u64, u64)) {
+    let group_words = g * rows;
+    let mut banks = BankSet::empty(mem.num_banks());
+    let mut row_min = u64::MAX;
+    let mut row_max = 0u64;
+    let first_group = min_word / group_words;
+    let last_group = max_word / group_words;
+    for group_idx in first_group..=last_group {
+        let lo = (group_idx * group_words).max(min_word) - group_idx * group_words;
+        let hi = ((group_idx + 1) * group_words - 1).min(max_word) - group_idx * group_words;
+        row_min = row_min.min(lo / g);
+        row_max = row_max.max(hi / g);
+        let len = hi - lo + 1;
+        if len >= g {
+            for b in 0..g {
+                banks.insert((group_idx * g + b) as usize);
+            }
+        } else {
+            for w in lo..=hi {
+                banks.insert((group_idx * g + w % g) as usize);
+            }
+        }
+    }
+    (banks, (row_min, row_max))
+}
+
+/// The physical bank of a word index under GIMA(g) — the analyzer's model
+/// of the remapper's bit permutation (`AddressRemapper::map_word`), checked
+/// against the remapper itself by the exhaustive round-trip tests in
+/// `dm-mem`.
+#[must_use]
+pub fn bank_of_word(word: u64, g: u64, group_words: u64) -> u64 {
+    (word / group_words) * g + word % g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamaestro::StreamerMode;
+    use dm_mem::{AddressRemapper, AddressingMode};
+
+    fn mem() -> MemConfig {
+        MemConfig::new(8, 8, 64).unwrap()
+    }
+
+    fn design(spatial: &[usize]) -> DesignConfig {
+        DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds(spatial.iter().copied())
+            .temporal_dims(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bank_model_matches_remapper_for_every_mode() {
+        let mem = mem();
+        for mode in [
+            AddressingMode::FullyInterleaved,
+            AddressingMode::NonInterleaved,
+            AddressingMode::GroupedInterleaved { group_banks: 2 },
+            AddressingMode::GroupedInterleaved { group_banks: 4 },
+        ] {
+            let remapper = AddressRemapper::new(&mem, mode).unwrap();
+            let g = mode.group_banks(mem.num_banks()) as u64;
+            let group_words = g * mem.rows_per_bank() as u64;
+            for w in 0..remapper.capacity_words() {
+                assert_eq!(
+                    bank_of_word(w, g, group_words),
+                    remapper.map_word(w).bank as u64,
+                    "mode {mode} word {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_hull_is_exact() {
+        let rt = RuntimeConfig::builder()
+            .base(64)
+            .temporal([4, 2], [64, -32])
+            .spatial_strides([8])
+            .build();
+        let s = summarize(&design(&[8]), &rt, &mem()).unwrap();
+        // min = 64 - 32 = 32; max = 64 + 3*64 + 7*8 + 7 = 319.
+        assert_eq!(s.word_hull, (4, 39));
+        assert_eq!(s.steps, 8);
+        assert_eq!(s.offsets_words, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn oob_pattern_rejected_with_dm_oob() {
+        let rt = RuntimeConfig::builder()
+            .base(0)
+            .temporal([1024, 1024], [64, 64])
+            .spatial_strides([8])
+            .build();
+        let diags = summarize(&design(&[8]), &rt, &mem()).unwrap_err();
+        assert!(diags.iter().any(|d| d.code == LintCode::Oob), "{diags:?}");
+    }
+
+    #[test]
+    fn negative_reach_rejected() {
+        let rt = RuntimeConfig::builder()
+            .base(64)
+            .temporal([64], [-64])
+            .spatial_strides([8])
+            .build();
+        let diags = summarize(&design(&[8]), &rt, &mem()).unwrap_err();
+        assert!(diags.iter().any(|d| d.code == LintCode::Oob));
+    }
+
+    #[test]
+    fn misalignment_rejected() {
+        let rt = RuntimeConfig::builder()
+            .base(4)
+            .temporal([2], [64])
+            .spatial_strides([8])
+            .build();
+        let diags = summarize(&design(&[8]), &rt, &mem()).unwrap_err();
+        assert!(diags.iter().all(|d| d.code == LintCode::Unaligned));
+
+        let rt = RuntimeConfig::builder()
+            .temporal([2], [64])
+            .spatial_strides([4])
+            .build();
+        let diags = summarize(&design(&[8]), &rt, &mem()).unwrap_err();
+        assert!(diags.iter().any(|d| d.code == LintCode::Unaligned));
+    }
+
+    #[test]
+    fn bank_set_matches_brute_force() {
+        let mem = mem();
+        for (lo, hi, g) in [(0u64, 3u64, 2u64), (60, 200, 4), (100, 101, 8), (5, 511, 1)] {
+            let (banks, rows) = hull_banks_and_rows(lo, hi, g, 64, &mem);
+            let mut expected = BankSet::empty(8);
+            let mut rmin = u64::MAX;
+            let mut rmax = 0;
+            for w in lo..=hi {
+                expected.insert(bank_of_word(w, g, g * 64) as usize);
+                let r = (w % (g * 64)) / g;
+                rmin = rmin.min(r);
+                rmax = rmax.max(r);
+            }
+            assert_eq!(banks, expected, "lo={lo} hi={hi} g={g}");
+            assert_eq!(rows, (rmin, rmax), "lo={lo} hi={hi} g={g}");
+        }
+    }
+
+    #[test]
+    fn bank_set_display_and_ops() {
+        let mut s = BankSet::empty(32);
+        assert!(s.is_empty());
+        for b in [0, 1, 2, 3, 24] {
+            s.insert(b);
+        }
+        assert_eq!(s.to_string(), "{0-3, 24}");
+        assert_eq!(s.len(), 5);
+        let mut t = BankSet::empty(32);
+        t.insert(5);
+        assert!(!s.intersects(&t));
+        t.insert(24);
+        assert!(s.intersects(&t));
+    }
+}

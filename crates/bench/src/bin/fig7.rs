@@ -37,6 +37,25 @@ fn main() {
         suite.len(),
         if quick { " (--quick subset)" } else { "" }
     );
+    if args.lint {
+        // Pre-flight every (workload, step) configuration the ablation will
+        // simulate; a configuration the analyzer rejects would waste the
+        // whole sweep.
+        let cfg = SystemConfig::default();
+        let items: Vec<_> = suite
+            .iter()
+            .flat_map(|w| {
+                (1..=6).map(move |step| {
+                    (
+                        format!("{w}|step{step}"),
+                        FeatureSet::ablation_step(step),
+                        *w,
+                    )
+                })
+            })
+            .collect();
+        dm_bench::lint_gate("fig7", &items, &cfg.mem, cfg.depths);
+    }
 
     let groups = [
         WorkloadGroup::Gemm,

@@ -23,7 +23,7 @@ use dm_bench::regress;
 
 fn usage() -> ! {
     eprintln!("usage:");
-    eprintln!("  regress run  [--out <path>] [--full] [--no-host] [--jobs <n>]");
+    eprintln!("  regress run  [--out <path>] [--full] [--no-host] [--jobs <n>] [--lint]");
     eprintln!("  regress diff <baseline.json> <new.json> [--threshold <fraction>]");
     std::process::exit(2);
 }
@@ -42,12 +42,14 @@ fn run(args: &[String]) {
     let mut full = false;
     let mut with_host = true;
     let mut jobs = 1;
+    let mut lint = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
             "--full" => full = true,
             "--no-host" => with_host = false,
+            "--lint" => lint = true,
             "--jobs" => {
                 jobs = it
                     .next()
@@ -57,6 +59,9 @@ fn run(args: &[String]) {
             }
             _ => usage(),
         }
+    }
+    if lint {
+        lint_suites(full);
     }
     let doc = regress::bench_document(full, with_host, jobs, |msg| eprintln!("  {msg}"))
         .unwrap_or_else(|e| panic!("benchmark run failed: {e}"));
@@ -73,6 +78,43 @@ fn run(args: &[String]) {
         })
         .unwrap_or(0);
     println!("wrote {entries} suite entries to {out}");
+}
+
+/// Statically lints the same configurations `regress run` will simulate
+/// (the Fig. 7 ablation slice and the Table III layers), aborting before
+/// any cycle is spent if the analyzer finds an error.
+fn lint_suites(full: bool) {
+    use dm_compiler::FeatureSet;
+    use dm_system::SystemConfig;
+    use dm_workloads::{synthetic_suite, table3_models};
+
+    let cfg = SystemConfig::default();
+    let mut items = Vec::new();
+    for (i, workload) in synthetic_suite().into_iter().enumerate() {
+        if !full && i % 5 != 0 {
+            continue;
+        }
+        for step in 1..=6 {
+            items.push((
+                format!("{workload}|step{step}"),
+                FeatureSet::ablation_step(step),
+                workload,
+            ));
+        }
+    }
+    for model in table3_models() {
+        if !full && model.name != "ResNet-18" {
+            continue;
+        }
+        for layer in &model.layers {
+            items.push((
+                format!("{}/{}", model.name, layer.name),
+                cfg.features,
+                layer.workload,
+            ));
+        }
+    }
+    dm_bench::lint_gate("regress", &items, &cfg.mem, cfg.depths);
 }
 
 fn diff(args: &[String]) {

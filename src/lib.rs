@@ -16,6 +16,8 @@
 //! * [`workloads`] — workload specs, layouts, the 260-workload suite and
 //!   the four Table III networks;
 //! * [`compiler`] — workload lowering (configs, placement, pre-passes);
+//! * [`analyze`] — static configuration analysis (`dm-lint`): bank-conflict
+//!   proofs, footprint/hazard checks, deadlock detection, mode advice;
 //! * [`system`] — the assembled evaluation system and its cycle loop;
 //! * [`baselines`] — analytic models of the SotA comparison points;
 //! * [`cost`] — area, power and FPGA-resource models.
@@ -34,6 +36,7 @@
 
 pub use datamaestro as streamer;
 pub use dm_accel as accel;
+pub use dm_analyze as analyze;
 pub use dm_baselines as baselines;
 pub use dm_compiler as compiler;
 pub use dm_cost as cost;
