@@ -1,5 +1,6 @@
 //! The Tensor-Core-like GeMM accelerator datapath.
 
+use dm_sim::{Cycle, NextActivity, StableHasher};
 use serde::{Deserialize, Serialize};
 
 use crate::word::{decode_i32, decode_i8, encode_i32};
@@ -201,6 +202,23 @@ impl GemmDatapath {
         self.k_steps = k_steps;
         self.k_counter = 0;
         self.acc.fill(0);
+    }
+}
+
+impl NextActivity for GemmDatapath {
+    /// The datapath is purely reactive: it only advances when the system
+    /// fires [`step`](Self::step), and firing cycles are never skipped, so
+    /// it imposes no horizon of its own.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    fn activity_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.k_counter);
+        h.write_u64(self.tiles_completed);
+        h.write_u64(self.macs);
+        h.finish()
     }
 }
 

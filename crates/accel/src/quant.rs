@@ -6,6 +6,7 @@
 //! the same family of operations TFLite-style integer inference uses and
 //! what the paper's `Rescale` denotes.
 
+use dm_sim::{Cycle, NextActivity, StableHasher};
 use serde::{Deserialize, Serialize};
 
 use crate::word::{decode_i32, encode_i8};
@@ -150,6 +151,22 @@ impl Quantizer {
     #[must_use]
     pub fn tiles_processed(&self) -> u64 {
         self.tiles_processed
+    }
+}
+
+impl NextActivity for Quantizer {
+    /// Purely reactive (see [`GemmDatapath::next_activity`]): it only runs
+    /// inside a firing cycle, and firing cycles are never skipped.
+    ///
+    /// [`GemmDatapath::next_activity`]: crate::GemmDatapath#method.next_activity
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    fn activity_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.tiles_processed);
+        h.finish()
     }
 }
 

@@ -16,7 +16,6 @@ use dm_cost::area::system_area;
 use dm_cost::energy::power_breakdown;
 use dm_cost::{EnergyEvents, EnergyModel, EvaluationSystemSpec, UnitAreas};
 use dm_sim::TraceMode;
-use dm_system::SystemConfig;
 use dm_workloads::GemmSpec;
 
 fn main() {
@@ -30,7 +29,7 @@ fn main() {
         .filter(|(i, _)| !args.quick || i % 2 == 0)
         .map(|(_, k)| k)
         .collect();
-    let cfg = SystemConfig::default();
+    let cfg = args.system_config();
 
     println!("Fig. 10 (left): normalized throughput in TOPS (512 PEs @ 1 GHz)");
     println!(

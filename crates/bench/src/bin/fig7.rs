@@ -74,8 +74,9 @@ fn main() {
     let reports = dm_bench::run_ordered(&suite, args.jobs, |idx, workload| {
         (1..=6)
             .map(|step| {
-                let mut cfg =
-                    SystemConfig::default().with_features(FeatureSet::ablation_step(step));
+                let mut cfg = args
+                    .system_config()
+                    .with_features(FeatureSet::ablation_step(step));
                 // Capture the requested Perfetto trace on the first
                 // workload's fully-featured run (tracing never changes the
                 // measurement, and pinning the choice to item 0 keeps it

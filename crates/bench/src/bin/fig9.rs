@@ -14,7 +14,6 @@ use dm_cost::area::system_area;
 use dm_cost::energy::power_breakdown;
 use dm_cost::{EnergyEvents, EnergyModel, EvaluationSystemSpec, UnitAreas};
 use dm_sim::TraceMode;
-use dm_system::SystemConfig;
 use dm_workloads::GemmSpec;
 
 fn main() {
@@ -70,7 +69,7 @@ fn main() {
     }
 
     // --- Fig. 9(c): power while executing GeMM-64 at 1 GHz --------------
-    let mut cfg = SystemConfig::default();
+    let mut cfg = args.system_config();
     if args.trace_out.is_some() {
         cfg.trace = TraceMode::Full;
     }

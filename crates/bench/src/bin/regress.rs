@@ -1,8 +1,10 @@
 //! The benchmark regression harness CLI.
 //!
 //! ```text
-//! regress run  [--out <path>] [--full] [--no-host] [--jobs <n>]
-//! regress diff <baseline.json> <new.json> [--threshold <fraction>]
+//! regress run   [--out <path>] [--full|--quick] [--no-host] [--jobs <n>]
+//!               [--no-fast-forward] [--time-phases] [--lint]
+//! regress diff  <baseline.json> <new.json> [--threshold <fraction>]
+//! regress guard <fastforward.json> <lockstep.json> [--min-ratio <r>]
 //! ```
 //!
 //! `run` executes the benchmark suites (Fig. 7 ablation slice + Table III
@@ -11,20 +13,31 @@
 //! deterministic — that is how the committed `BENCH_seed.json` baseline is
 //! produced and refreshed. `--jobs <n>` spreads the independent runs over
 //! `n` worker threads; entries are committed in suite order, so the output
-//! document is byte-identical to a `--jobs 1` run.
+//! document is byte-identical to a `--jobs 1` run. `--no-fast-forward`
+//! disables idle-cycle elision (lockstep simulation); the `suites` subtree
+//! must not change, only the `host` throughput figures.
 //!
 //! `diff` compares two documents and exits non-zero when utilization drops
 //! or p99 latency inflates beyond the tolerance (default 1 %), when the
 //! suite composition drifted, or when provenance fingerprints disagree
 //! (the runs measured different configurations). The `host` section is
 //! never compared.
+//!
+//! `guard` gates the fast-forward engine itself: the two documents must
+//! carry byte-identical `suites`/`detail` subtrees, and per suite the
+//! fast-forward run's `host.suites[].cycles_per_sec` must be at least
+//! `--min-ratio` (default 0.9) times the lockstep run's.
 
 use dm_bench::regress;
 
 fn usage() -> ! {
     eprintln!("usage:");
-    eprintln!("  regress run  [--out <path>] [--full] [--no-host] [--jobs <n>] [--lint]");
-    eprintln!("  regress diff <baseline.json> <new.json> [--threshold <fraction>]");
+    eprintln!(
+        "  regress run   [--out <path>] [--full|--quick] [--no-host] [--jobs <n>]\n\
+         \x20               [--no-fast-forward] [--time-phases] [--lint]"
+    );
+    eprintln!("  regress diff  <baseline.json> <new.json> [--threshold <fraction>]");
+    eprintln!("  regress guard <fastforward.json> <lockstep.json> [--min-ratio <r>]");
     std::process::exit(2);
 }
 
@@ -33,6 +46,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("diff") => diff(&args[1..]),
+        Some("guard") => guard(&args[1..]),
         _ => usage(),
     }
 }
@@ -43,12 +57,19 @@ fn run(args: &[String]) {
     let mut with_host = true;
     let mut jobs = 1;
     let mut lint = false;
+    let mut fast_forward = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
             "--full" => full = true,
+            // The default selection; accepted so scripts can be explicit.
+            "--quick" => full = false,
             "--no-host" => with_host = false,
+            // Host phase timing is part of the host section, which is on by
+            // default; accepted so scripts can be explicit.
+            "--time-phases" => with_host = true,
+            "--no-fast-forward" => fast_forward = false,
             "--lint" => lint = true,
             "--jobs" => {
                 jobs = it
@@ -63,8 +84,10 @@ fn run(args: &[String]) {
     if lint {
         lint_suites(full);
     }
-    let doc = regress::bench_document(full, with_host, jobs, |msg| eprintln!("  {msg}"))
-        .unwrap_or_else(|e| panic!("benchmark run failed: {e}"));
+    let doc = regress::bench_document(full, with_host, jobs, fast_forward, |msg| {
+        eprintln!("  {msg}")
+    })
+    .unwrap_or_else(|e| panic!("benchmark run failed: {e}"));
     std::fs::write(&out, doc.to_json()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     let entries: usize = doc
         .get("suites")
@@ -117,6 +140,12 @@ fn lint_suites(full: bool) {
     dm_bench::lint_gate("regress", &items, &cfg.mem, cfg.depths);
 }
 
+fn load(path: &str) -> dm_sim::JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    dm_sim::JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("{path}: malformed JSON: {}", e.message))
+}
+
 fn diff(args: &[String]) {
     let mut paths = Vec::new();
     let mut threshold = regress::DEFAULT_THRESHOLD;
@@ -135,11 +164,6 @@ fn diff(args: &[String]) {
     let [old_path, new_path] = paths.as_slice() else {
         usage();
     };
-    let load = |path: &str| {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-        dm_sim::JsonValue::parse(&text)
-            .unwrap_or_else(|e| panic!("{path}: malformed JSON: {}", e.message))
-    };
     let outcome = regress::diff(&load(old_path), &load(new_path), threshold);
     if outcome.passed() {
         println!(
@@ -153,6 +177,39 @@ fn diff(args: &[String]) {
             outcome.failures.len(),
             100.0 * threshold
         );
+        for failure in &outcome.failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn guard(args: &[String]) {
+    let mut paths = Vec::new();
+    let mut min_ratio = regress::DEFAULT_GUARD_RATIO;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-ratio" => {
+                min_ratio = it
+                    .next()
+                    .and_then(|r| r.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [ff_path, lockstep_path] = paths.as_slice() else {
+        usage();
+    };
+    let outcome = regress::guard(&load(ff_path), &load(lockstep_path), min_ratio);
+    for (suite, ratio) in &outcome.ratios {
+        println!("  {suite}: fast-forward throughput {ratio:.2}x lockstep");
+    }
+    if outcome.passed() {
+        println!("OK: fast-forward is bit-identical to lockstep and >= {min_ratio:.2}x its speed");
+    } else {
+        eprintln!("GUARD FAILED: {} violation(s):", outcome.failures.len());
         for failure in &outcome.failures {
             eprintln!("  {failure}");
         }

@@ -69,7 +69,7 @@ fn main() {
             },
             features: FeatureSet::ablation_step(5),
             check_output: false,
-            ..SystemConfig::default()
+            ..args.system_config()
         };
         if trace_first && i == 0 {
             cfg.trace = TraceMode::Full;
@@ -105,7 +105,7 @@ fn main() {
     let reports = dm_bench::run_ordered(&placements, args.jobs, |_, &(_, step)| {
         let cfg = SystemConfig {
             check_output: false,
-            ..SystemConfig::default()
+            ..args.system_config()
         }
         .with_features(FeatureSet::ablation_step(step));
         dm_bench::measure(&cfg, workload, 1).expect("runs")
@@ -127,7 +127,7 @@ fn main() {
         use dm_workloads::WorkloadData;
         let cfg = SystemConfig {
             check_output: false,
-            ..SystemConfig::default()
+            ..args.system_config()
         };
         let data = WorkloadData::generate(workload, 1);
         let program =
@@ -161,13 +161,13 @@ fn main() {
         "latency", "prefetch util", "coarse util"
     );
     dm_bench::rule(44);
-    let latencies: &[u64] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let latencies: &[u64] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
     let reports = dm_bench::run_ordered(latencies, args.jobs, |_, &latency| {
         [6usize, 1].map(|step| {
             let cfg = SystemConfig {
                 read_latency: latency,
                 check_output: false,
-                ..SystemConfig::default()
+                ..args.system_config()
             }
             .with_features(FeatureSet::ablation_step(step));
             dm_bench::measure(&cfg, workload, 1).expect("runs")
@@ -196,7 +196,7 @@ fn main() {
         let cfg = SystemConfig {
             mem: MemConfig::new(banks, 8, rows.next_power_of_two()).expect("geometry"),
             check_output: false,
-            ..SystemConfig::default()
+            ..args.system_config()
         };
         dm_bench::measure(&cfg, workload, 1).expect("runs")
     });

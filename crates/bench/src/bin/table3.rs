@@ -13,7 +13,6 @@
 //! layer.
 
 use dm_sim::{StallAttribution, TraceMode};
-use dm_system::SystemConfig;
 use dm_workloads::table3_models;
 
 fn main() {
@@ -34,7 +33,7 @@ fn main() {
         "network", "type", "measured util", "paper util"
     );
     dm_bench::rule(54);
-    let cfg = SystemConfig::default();
+    let cfg = args.system_config();
     if args.lint {
         let items: Vec<_> = table3_models()
             .iter()

@@ -90,6 +90,10 @@ pub struct BenchArgs {
     /// Statically lint every configuration before simulating (abort on
     /// error-severity findings).
     pub lint: bool,
+    /// Disable idle-cycle elision and run every simulation in lockstep
+    /// (results are bit-identical either way; this is the escape hatch and
+    /// the baseline side of the perf-smoke comparison).
+    pub no_fast_forward: bool,
 }
 
 impl Default for BenchArgs {
@@ -100,6 +104,20 @@ impl Default for BenchArgs {
             metrics_out: None,
             trace_out: None,
             lint: false,
+            no_fast_forward: false,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// The default system with the CLI's fast-forward choice applied —
+    /// simulating binaries start from this instead of
+    /// `SystemConfig::default()` so `--no-fast-forward` reaches every run.
+    #[must_use]
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            fast_forward: !self.no_fast_forward,
+            ..SystemConfig::default()
         }
     }
 }
@@ -115,6 +133,7 @@ pub fn parse_args() -> BenchArgs {
         match arg.as_str() {
             "--quick" => parsed.quick = true,
             "--lint" => parsed.lint = true,
+            "--no-fast-forward" => parsed.no_fast_forward = true,
             "--jobs" => {
                 parsed.jobs = args
                     .next()
@@ -144,7 +163,7 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "supported options: --quick, --jobs <n>, --metrics-out <path>, \
-         --trace-out <path>, --lint"
+         --trace-out <path>, --lint, --no-fast-forward"
     );
     std::process::exit(2);
 }

@@ -24,6 +24,10 @@ pub const SCHEMA: &str = "datamaestro-bench-v1";
 /// Relative tolerance used by `diff` when none is given: 1 %.
 pub const DEFAULT_THRESHOLD: f64 = 0.01;
 
+/// Throughput floor used by `guard` when none is given: the fast-forward
+/// run must reach at least 0.9x the lockstep run's cycles/sec per suite.
+pub const DEFAULT_GUARD_RATIO: f64 = 0.9;
+
 /// Absolute slack (cycles) added on top of the relative latency
 /// tolerance, so 2-cycle p99s don't fail on a 1-cycle wobble.
 const LATENCY_SLACK_CYCLES: u64 = 2;
@@ -87,7 +91,55 @@ pub fn entry_json(label: &str, report: &RunReport) -> JsonValue {
     ])
 }
 
-/// Runs the benchmark suites and returns `(suite name, entries)` pairs.
+/// Wall-clock throughput of one benchmark suite: how many simulated cycles
+/// the host retired per second while producing the suite's entries. Lives
+/// in the non-compared `host` section; `guard` uses it to verify that the
+/// fast-forward engine actually pays for itself.
+#[derive(Debug, Clone)]
+pub struct SuiteHost {
+    /// Suite name (`fig7`, `table3`).
+    pub suite: String,
+    /// Total simulated cycles across the suite's entries.
+    pub cycles: u64,
+    /// Host wall-clock spent producing the suite, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl SuiteHost {
+    /// Simulated cycles retired per host second.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Serializes to the `host.suites[]` entry format.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("suite".to_owned(), JsonValue::from(self.suite.as_str())),
+            ("cycles".to_owned(), JsonValue::from(self.cycles)),
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            (
+                "cycles_per_sec".to_owned(),
+                JsonValue::from(self.cycles_per_sec()),
+            ),
+        ])
+    }
+}
+
+fn suite_cycles(entries: &[JsonValue]) -> u64 {
+    entries
+        .iter()
+        .filter_map(|e| e.get("cycles").and_then(JsonValue::as_u64))
+        .sum()
+}
+
+/// Runs the benchmark suites and returns `(suite name, entries)` pairs plus
+/// per-suite host throughput figures.
 ///
 /// The default (quick) selection keeps a CI pass under a minute: every 5th
 /// synthetic workload through all six ablation steps, plus the ResNet-18
@@ -95,16 +147,20 @@ pub fn entry_json(label: &str, report: &RunReport) -> JsonValue {
 ///
 /// `jobs` spreads the independent runs over that many worker threads; the
 /// suite entries are committed in input order, so the resulting document is
-/// byte-identical regardless of the thread count.
+/// byte-identical regardless of the thread count. `fast_forward` toggles
+/// idle-cycle elision; by construction it cannot change any entry, only the
+/// host throughput.
 ///
 /// # Errors
 ///
 /// Propagates the first (in suite order) [`SystemError`] from any run.
+#[allow(clippy::type_complexity)]
 pub fn run_suites(
     full: bool,
     jobs: usize,
+    fast_forward: bool,
     mut progress: impl FnMut(&str),
-) -> Result<Vec<(String, Vec<JsonValue>)>, SystemError> {
+) -> Result<(Vec<(String, Vec<JsonValue>)>, Vec<SuiteHost>), SystemError> {
     // Fig. 7 ablation slice: label and seed derive from the position in the
     // *unfiltered* suite so quick and full runs agree on shared entries.
     let suite = synthetic_suite();
@@ -118,10 +174,14 @@ pub fn run_suites(
         picked.len()
     ));
     // One work item = one workload through all six ablation steps.
-    let fig7 = crate::run_ordered(&picked, jobs, |_, (idx, workload)| {
+    let fig7_start = std::time::Instant::now();
+    let fig7: Vec<JsonValue> = crate::run_ordered(&picked, jobs, |_, (idx, workload)| {
         (1..=6)
             .map(|step| {
-                let cfg = SystemConfig::default().with_features(FeatureSet::ablation_step(step));
+                let cfg = SystemConfig {
+                    fast_forward,
+                    ..SystemConfig::default().with_features(FeatureSet::ablation_step(step))
+                };
                 let report = crate::measure(&cfg, **workload, *idx as u64)?;
                 Ok(entry_json(&format!("{workload}|step{step}"), &report))
             })
@@ -132,6 +192,7 @@ pub fn run_suites(
     .into_iter()
     .flatten()
     .collect();
+    let fig7_wall_ns = u64::try_from(fig7_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
     // Table III layer sweep on the fully featured system.
     let mut layers = Vec::new();
@@ -144,17 +205,35 @@ pub fn run_suites(
             layers.push((format!("{}/{}", model.name, layer.name), layer.workload, i));
         }
     }
-    let table3 = crate::run_ordered(&layers, jobs, |_, (label, workload, seed)| {
-        let report = crate::measure(&SystemConfig::default(), *workload, *seed as u64)?;
+    let table3_start = std::time::Instant::now();
+    let table3: Vec<JsonValue> = crate::run_ordered(&layers, jobs, |_, (label, workload, seed)| {
+        let cfg = SystemConfig {
+            fast_forward,
+            ..SystemConfig::default()
+        };
+        let report = crate::measure(&cfg, *workload, *seed as u64)?;
         Ok::<_, SystemError>(entry_json(label, &report))
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
+    let table3_wall_ns = u64::try_from(table3_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
-    Ok(vec![
-        ("fig7".to_owned(), fig7),
-        ("table3".to_owned(), table3),
-    ])
+    let host = vec![
+        SuiteHost {
+            suite: "fig7".to_owned(),
+            cycles: suite_cycles(&fig7),
+            wall_ns: fig7_wall_ns,
+        },
+        SuiteHost {
+            suite: "table3".to_owned(),
+            cycles: suite_cycles(&table3),
+            wall_ns: table3_wall_ns,
+        },
+    ];
+    Ok((
+        vec![("fig7".to_owned(), fig7), ("table3".to_owned(), table3)],
+        host,
+    ))
 }
 
 /// Deep-dive telemetry of one representative run (fully featured GeMM-64):
@@ -164,9 +243,12 @@ pub fn run_suites(
 /// # Errors
 ///
 /// Propagates the [`SystemError`] from the run.
-pub fn detail_json() -> Result<JsonValue, SystemError> {
+pub fn detail_json(fast_forward: bool) -> Result<JsonValue, SystemError> {
     let report = crate::measure(
-        &SystemConfig::default(),
+        &SystemConfig {
+            fast_forward,
+            ..SystemConfig::default()
+        },
         dm_workloads::GemmSpec::new(64, 64, 64).into(),
         0,
     )?;
@@ -200,21 +282,27 @@ pub fn detail_json() -> Result<JsonValue, SystemError> {
 /// # Errors
 ///
 /// Propagates the [`SystemError`] from the run.
-pub fn host_json() -> Result<JsonValue, SystemError> {
+pub fn host_json(fast_forward: bool, suites: &[SuiteHost]) -> Result<JsonValue, SystemError> {
     let cfg = SystemConfig {
         time_phases: true,
+        fast_forward,
         ..SystemConfig::default()
     };
     let report = crate::measure(&cfg, dm_workloads::GemmSpec::new(64, 64, 64).into(), 0)?;
     let host = report.host.expect("time_phases was set");
     Ok(JsonValue::object([
         ("workload".to_owned(), JsonValue::from("GeMM-64|step6")),
+        ("fast_forward".to_owned(), JsonValue::from(fast_forward)),
         (
             "streamers_ns".to_owned(),
             JsonValue::from(host.streamers_ns),
         ),
         ("memory_ns".to_owned(), JsonValue::from(host.memory_ns)),
         ("pe_ns".to_owned(), JsonValue::from(host.pe_ns)),
+        (
+            "fastforward_ns".to_owned(),
+            JsonValue::from(host.fastforward_ns),
+        ),
         (
             "compute_loop_ns".to_owned(),
             JsonValue::from(host.compute_loop_ns),
@@ -223,6 +311,10 @@ pub fn host_json() -> Result<JsonValue, SystemError> {
         (
             "cycles_per_sec".to_owned(),
             JsonValue::from(host.cycles_per_sec()),
+        ),
+        (
+            "suites".to_owned(),
+            JsonValue::Array(suites.iter().map(SuiteHost::to_json).collect()),
         ),
     ]))
 }
@@ -240,9 +332,10 @@ pub fn bench_document(
     full: bool,
     with_host: bool,
     jobs: usize,
+    fast_forward: bool,
     progress: impl FnMut(&str),
 ) -> Result<JsonValue, SystemError> {
-    let suites = run_suites(full, jobs, progress)?;
+    let (suites, suite_host) = run_suites(full, jobs, fast_forward, progress)?;
     let mut fields = vec![
         ("schema".to_owned(), JsonValue::from(SCHEMA)),
         (
@@ -261,10 +354,10 @@ pub fn bench_document(
                     .map(|(name, entries)| (name, JsonValue::Array(entries))),
             ),
         ),
-        ("detail".to_owned(), detail_json()?),
+        ("detail".to_owned(), detail_json(fast_forward)?),
     ];
     if with_host {
-        fields.push(("host".to_owned(), host_json()?));
+        fields.push(("host".to_owned(), host_json(fast_forward, &suite_host)?));
     }
     Ok(JsonValue::object(fields))
 }
@@ -421,6 +514,91 @@ fn compare_entry(
             ));
         }
     }
+}
+
+/// The outcome of `regress guard`: the fast-forward engine must change no
+/// simulated number and must not make the simulator meaningfully slower.
+#[derive(Debug, Default)]
+pub struct GuardOutcome {
+    /// Per-suite throughput ratio (fast-forward / lockstep).
+    pub ratios: Vec<(String, f64)>,
+    /// Human-readable violations; empty means the guard passed.
+    pub failures: Vec<String>,
+}
+
+impl GuardOutcome {
+    /// `true` when the fast-forward run is both bit-identical and fast
+    /// enough.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn host_suites(doc: &JsonValue) -> Vec<(String, f64)> {
+    doc.get("host")
+        .and_then(|h| h.get("suites"))
+        .and_then(JsonValue::as_array)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|e| {
+                    Some((
+                        e.get("suite")?.as_str()?.to_owned(),
+                        e.get("cycles_per_sec")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compares a fast-forward benchmark document against a lockstep one.
+///
+/// Two gates:
+///
+/// * every deterministic subtree (`suites`, `detail`) must be
+///   byte-identical — idle-cycle elision is only legal if it changes no
+///   simulated observable;
+/// * per suite, the fast-forward run's `host.suites[].cycles_per_sec` must
+///   be at least `min_ratio` times the lockstep run's (the engine must not
+///   cost more than it saves, even on workloads with nothing to elide).
+#[must_use]
+pub fn guard(ff: &JsonValue, lockstep: &JsonValue, min_ratio: f64) -> GuardOutcome {
+    let mut out = GuardOutcome::default();
+    for key in ["suites", "detail"] {
+        let a = ff.get(key).map(JsonValue::to_json);
+        let b = lockstep.get(key).map(JsonValue::to_json);
+        if a != b {
+            out.failures.push(format!(
+                "'{key}' subtree differs between the fast-forward and lockstep runs; \
+                 idle-cycle elision changed a simulated result"
+            ));
+        }
+    }
+    let ff_host = host_suites(ff);
+    let ls_host = host_suites(lockstep);
+    if ff_host.is_empty() {
+        out.failures.push(
+            "fast-forward document has no host.suites timing (was it run with --no-host?)"
+                .to_owned(),
+        );
+    }
+    for (suite, ff_cps) in &ff_host {
+        let Some((_, ls_cps)) = ls_host.iter().find(|(s, _)| s == suite) else {
+            out.failures
+                .push(format!("suite '{suite}' missing from lockstep host timing"));
+            continue;
+        };
+        let ratio = if *ls_cps > 0.0 { ff_cps / ls_cps } else { 0.0 };
+        out.ratios.push((suite.clone(), ratio));
+        if ratio < min_ratio {
+            out.failures.push(format!(
+                "suite '{suite}': fast-forward retires {ff_cps:.0} cycles/s, only {ratio:.2}x \
+                 the lockstep {ls_cps:.0} cycles/s (floor {min_ratio:.2}x)"
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -614,6 +792,83 @@ mod tests {
         assert_eq!(outcome.failures.len(), 2, "{:?}", outcome.failures);
         assert!(outcome.failures[0].contains("missing from new document"));
         assert!(outcome.failures[1].contains("not present in baseline"));
+    }
+
+    fn guard_doc(util: f64, cps: f64) -> JsonValue {
+        let entry = JsonValue::object([
+            ("label".to_owned(), JsonValue::from("w")),
+            ("utilization".to_owned(), JsonValue::from(util)),
+        ]);
+        let host_entry = SuiteHost {
+            suite: "s".to_owned(),
+            cycles: 1_000_000,
+            wall_ns: (1e9 * 1_000_000.0 / cps) as u64,
+        };
+        JsonValue::object([
+            ("schema".to_owned(), JsonValue::from(SCHEMA)),
+            (
+                "suites".to_owned(),
+                JsonValue::object([("s".to_owned(), JsonValue::Array(vec![entry]))]),
+            ),
+            (
+                "host".to_owned(),
+                JsonValue::object([(
+                    "suites".to_owned(),
+                    JsonValue::Array(vec![host_entry.to_json()]),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn guard_accepts_identical_results_at_equal_speed() {
+        let outcome = guard(
+            &guard_doc(0.9, 4e6),
+            &guard_doc(0.9, 4e6),
+            DEFAULT_GUARD_RATIO,
+        );
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert_eq!(outcome.ratios, vec![("s".to_owned(), 1.0)]);
+    }
+
+    #[test]
+    fn guard_rejects_simulated_drift() {
+        // A fast-forward run that changes any simulated number is a
+        // correctness bug regardless of how fast it is.
+        let outcome = guard(
+            &guard_doc(0.8, 8e6),
+            &guard_doc(0.9, 4e6),
+            DEFAULT_GUARD_RATIO,
+        );
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("'suites' subtree differs"));
+    }
+
+    #[test]
+    fn guard_rejects_a_slowdown_below_the_floor() {
+        let outcome = guard(
+            &guard_doc(0.9, 2e6),
+            &guard_doc(0.9, 4e6),
+            DEFAULT_GUARD_RATIO,
+        );
+        assert!(!outcome.passed());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("floor")),
+            "{:?}",
+            outcome.failures
+        );
+        assert!((outcome.ratios[0].1 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn guard_requires_host_timing() {
+        let mut no_host = guard_doc(0.9, 4e6);
+        if let JsonValue::Object(fields) = &mut no_host {
+            fields.retain(|(k, _)| k != "host");
+        }
+        let outcome = guard(&no_host, &guard_doc(0.9, 4e6), DEFAULT_GUARD_RATIO);
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("host.suites"));
     }
 
     #[test]

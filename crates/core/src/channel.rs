@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 
 use dm_mem::{BankLocation, MemOp, MemRequest, MemResponse, MemorySubsystem, RequesterId, Word};
-use dm_sim::{Counter, Fifo, LatencyHistogram, ReservedSlot};
+use dm_sim::{Counter, Fifo, LatencyHistogram, ReservedSlot, StableHasher};
 use serde::{Deserialize, Serialize};
 
 /// Per-channel event counters.
@@ -110,6 +110,15 @@ impl ReadChannel {
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
         self.fifo.committed() == 0 && self.pending.is_none()
+    }
+
+    /// `true` when [`try_start_request`](Self::try_start_request) would
+    /// start a request: no request pending, an address queued and an ORM
+    /// landing slot reservable. Read-only mirror of that gate, used by the
+    /// fast-forward horizon to prove a channel inert.
+    #[must_use]
+    pub fn can_start_request(&self) -> bool {
+        self.pending.is_none() && !self.addr_queue.is_empty() && self.fifo.has_free_slot()
     }
 
     /// RSC step: if allowed, convert the next queued address into a pending
@@ -216,10 +225,34 @@ impl ReadChannel {
         self.occupancy.record(self.fifo.committed() as u64);
     }
 
+    /// Records `span` occupancy samples at once. The fast-forward engine
+    /// proves the FIFO is frozen across a skipped span, so the replay is
+    /// bit-identical to `span` calls to
+    /// [`sample_occupancy`](Self::sample_occupancy).
+    pub fn sample_occupancy_span(&mut self, span: u64) {
+        self.occupancy.record_n(self.fifo.committed() as u64, span);
+    }
+
     /// The sampled occupancy distribution.
     #[must_use]
     pub fn fifo_occupancy(&self) -> &LatencyHistogram {
         &self.occupancy
+    }
+
+    /// Folds every piece of channel state the fast-forward engine promises
+    /// not to disturb into `hasher` (occupancy samples are excluded: they
+    /// are deliberately replayed across a skipped span).
+    pub fn hash_state(&self, hasher: &mut StableHasher) {
+        hasher.write_usize(self.fifo.committed());
+        hasher.write_usize(self.fifo.len());
+        hasher.write_usize(self.addr_queue.len());
+        hasher.write_bool(self.pending.is_some());
+        hasher.write_usize(self.slots.len());
+        hasher.write_u64(self.next_tag);
+        hasher.write_u64(self.expected_tag);
+        hasher.write_u64(self.stats.granted.get());
+        hasher.write_u64(self.stats.retries.get());
+        hasher.write_u64(self.stats.responses.get());
     }
 }
 
@@ -360,10 +393,26 @@ impl WriteChannel {
         self.occupancy.record(self.fifo.len() as u64);
     }
 
+    /// Records `span` backlog samples at once (fast-forward replay; the
+    /// backlog is provably frozen across the span).
+    pub fn sample_occupancy_span(&mut self, span: u64) {
+        self.occupancy.record_n(self.fifo.len() as u64, span);
+    }
+
     /// The sampled occupancy distribution.
     #[must_use]
     pub fn fifo_occupancy(&self) -> &LatencyHistogram {
         &self.occupancy
+    }
+
+    /// Folds every piece of channel state the fast-forward engine promises
+    /// not to disturb into `hasher` (occupancy samples excluded; see
+    /// [`ReadChannel::hash_state`]).
+    pub fn hash_state(&self, hasher: &mut StableHasher) {
+        hasher.write_usize(self.fifo.len());
+        hasher.write_usize(self.addr_queue.len());
+        hasher.write_u64(self.stats.granted.get());
+        hasher.write_u64(self.stats.retries.get());
     }
 }
 

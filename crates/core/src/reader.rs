@@ -19,7 +19,10 @@
 use dm_mem::{
     Addr, AddressRemapper, BankLocation, MemConfig, MemResponse, MemorySubsystem, RequesterId,
 };
-use dm_sim::{Counter, Cycle, Instrumented, MetricsRegistry, Trace, TraceEventKind, TraceMode};
+use dm_sim::{
+    Counter, Cycle, Instrumented, MetricsRegistry, NextActivity, StableHasher, Trace,
+    TraceEventKind, TraceMode,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::agu::{SpatialAgu, TemporalAgu};
@@ -372,6 +375,73 @@ impl ReadStreamer {
             .max()
             .unwrap_or(0)
     }
+
+    /// Records `span` per-channel occupancy samples at once — the
+    /// fast-forward replay of the sampling [`begin_cycle`](Self::begin_cycle)
+    /// would have done over a span in which every FIFO is provably frozen.
+    pub fn sample_occupancy_span(&mut self, span: u64) {
+        for channel in &mut self.channels {
+            channel.sample_occupancy_span(span);
+        }
+    }
+}
+
+impl NextActivity for ReadStreamer {
+    /// A read streamer can act *this* cycle or not at all: every internal
+    /// transition is triggered either by its own queued work (AGU emission,
+    /// request start, pending resubmission, coarse-gate movement) or by an
+    /// external event — a memory response or an accelerator pop — that the
+    /// system accounts for separately. So the horizon is `Some(now)` if any
+    /// phase of the streamer's cycle would do more than sample occupancy,
+    /// and `None` otherwise.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        // Phase 4: the AGU emits whenever every address buffer has room.
+        if !self.tagu.is_done() && self.channels.iter().all(ReadChannel::has_addr_space) {
+            return Some(now);
+        }
+        // Phase 4/5: a pending request resubmits every cycle until granted.
+        if self.channels.iter().any(ReadChannel::has_pending) {
+            return Some(now);
+        }
+        // Phase 4: a channel may convert a queued address into a request.
+        for (c, channel) in self.channels.iter().enumerate() {
+            let may_start = self.fine_grained || (self.coarse_open && !self.coarse_started[c]);
+            if may_start && channel.can_start_request() {
+                return Some(now);
+            }
+        }
+        // Phase 1: the coarse gate would open (all channels quiescent) or —
+        // conservatively — close. Either transition mutates gating state, so
+        // the cycle is not skippable.
+        if !self.fine_grained {
+            if !self.coarse_open && self.channels.iter().all(ReadChannel::is_quiescent) {
+                return Some(now);
+            }
+            if self.coarse_open && self.coarse_started.iter().all(|&s| s) {
+                return Some(now);
+            }
+        }
+        None
+    }
+
+    fn activity_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.stats.granted.get());
+        h.write_u64(self.stats.retries.get());
+        h.write_u64(self.stats.wide_words.get());
+        h.write_u64(self.stats.temporal_addresses.get());
+        h.write_bool(self.lost_arbitration);
+        h.write_bool(self.tagu.is_done());
+        h.write_u64(self.tagu.wraps());
+        h.write_bool(self.coarse_open);
+        for &started in &self.coarse_started {
+            h.write_bool(started);
+        }
+        for channel in &self.channels {
+            channel.hash_state(&mut h);
+        }
+        h.finish()
+    }
 }
 
 impl Instrumented for ReadStreamer {
@@ -597,6 +667,41 @@ mod tests {
         assert!(trace
             .iter()
             .any(|e| e.kind == TraceEventKind::AguWrap { dim: 0 }));
+    }
+
+    #[test]
+    fn horizon_goes_idle_only_when_blocked_on_the_consumer() {
+        let mut mem = mem();
+        // Shallow FIFOs: the ORM throttles after two in-flight words, so the
+        // streamer goes fully inert while blocked on the consumer.
+        let d = DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds([4])
+            .temporal_dims(2)
+            .data_buffer_depth(2)
+            .build()
+            .unwrap();
+        let mut s = ReadStreamer::new(&d, &runtime(0), &mut mem).unwrap();
+        assert!(
+            s.next_activity(mem.cycle()).is_some(),
+            "fresh streamer: AGU can emit"
+        );
+        for _ in 0..50 {
+            tick(&mut s, &mut mem);
+        }
+        // AGU exhausted and FIFOs full: inert until the accelerator pops.
+        assert_eq!(s.next_activity(mem.cycle()), None);
+        let digest = s.activity_digest();
+        tick(&mut s, &mut mem);
+        assert_eq!(
+            s.activity_digest(),
+            digest,
+            "an idle-horizon tick must not move observable state"
+        );
+        let _ = s.pop_wide();
+        assert!(
+            s.next_activity(mem.cycle()).is_some(),
+            "a pop frees an ORM slot; the channel can start a request again"
+        );
     }
 
     #[test]

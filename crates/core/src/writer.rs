@@ -7,7 +7,10 @@
 //! through the crossbar, retrying on bank conflicts.
 
 use dm_mem::{MemorySubsystem, RequesterId, Word};
-use dm_sim::{Cycle, Instrumented, MetricsRegistry, Trace, TraceEventKind, TraceMode};
+use dm_sim::{
+    Cycle, Instrumented, MetricsRegistry, NextActivity, StableHasher, Trace, TraceEventKind,
+    TraceMode,
+};
 
 use crate::agu::{SpatialAgu, TemporalAgu};
 use crate::channel::WriteChannel;
@@ -286,6 +289,46 @@ impl WriteStreamer {
             .map(WriteChannel::fifo_high_watermark)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Records `span` per-channel backlog samples at once — the fast-forward
+    /// replay of the sampling [`generate_and_issue`](Self::generate_and_issue)
+    /// would have done over a span in which every FIFO is provably frozen.
+    pub fn sample_occupancy_span(&mut self, span: u64) {
+        for channel in &mut self.channels {
+            channel.sample_occupancy_span(span);
+        }
+    }
+}
+
+impl NextActivity for WriteStreamer {
+    /// Like the read side, a write streamer is either active *now* or inert
+    /// until the accelerator pushes a word: with no backlog there is nothing
+    /// to submit, and with full address buffers (or an exhausted pattern)
+    /// the AGU has nothing to do.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.tagu.is_done() && self.channels.iter().all(WriteChannel::has_addr_space) {
+            return Some(now);
+        }
+        if self.channels.iter().any(|c| c.backlog() > 0) {
+            return Some(now);
+        }
+        None
+    }
+
+    fn activity_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.stats.granted.get());
+        h.write_u64(self.stats.retries.get());
+        h.write_u64(self.stats.wide_words.get());
+        h.write_u64(self.stats.temporal_addresses.get());
+        h.write_bool(self.lost_arbitration);
+        h.write_bool(self.tagu.is_done());
+        h.write_u64(self.tagu.wraps());
+        for channel in &self.channels {
+            channel.hash_state(&mut h);
+        }
+        h.finish()
     }
 }
 

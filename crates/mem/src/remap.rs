@@ -146,6 +146,23 @@ pub struct AddressRemapper {
     rows_per_bank: usize,
     word_bytes: u64,
     group_banks: usize,
+    /// Precomputed bit-permutation table, built once at construction. Every
+    /// geometry parameter is a validated power of two, so the mapping
+    ///
+    /// ```text
+    /// word = [ group | row-within-group | bank-in-group ]
+    /// bank = [ group | bank-in-group ]
+    /// row  = [ row-within-group ]
+    /// ```
+    ///
+    /// reduces to shifts and masks — the software equivalent of the paper's
+    /// mux-of-rewired-wires remapper. This keeps per-access division off the
+    /// hottest address path; the original div/mod arithmetic survives under
+    /// `#[cfg(test)]` as the equivalence oracle.
+    group_shift: u32,
+    row_shift: u32,
+    group_mask: u64,
+    row_mask: u64,
 }
 
 impl AddressRemapper {
@@ -179,6 +196,10 @@ impl AddressRemapper {
             rows_per_bank: config.rows_per_bank(),
             word_bytes: config.bank_width_bytes() as u64,
             group_banks,
+            group_shift: group_banks.trailing_zeros(),
+            row_shift: config.rows_per_bank().trailing_zeros(),
+            group_mask: group_banks as u64 - 1,
+            row_mask: config.rows_per_bank() as u64 - 1,
         })
     }
 
@@ -208,21 +229,20 @@ impl AddressRemapper {
     /// components validate bounds before issuing, so an out-of-range word
     /// here is a compiler/AGU bug worth failing loudly on.
     #[must_use]
+    #[inline]
     pub fn map_word(&self, word: u64) -> BankLocation {
         assert!(
             word < self.capacity_words(),
             "word index {word} beyond scratchpad capacity {}",
             self.capacity_words()
         );
-        let g = self.group_banks as u64;
-        let rows = self.rows_per_bank as u64;
-        let group_capacity = g * rows;
-        let group = word / group_capacity;
-        let local = word % group_capacity;
-        let bank_in_group = local % g;
-        let row = local / g;
+        // Pure bit permutation via the precomputed shift/mask table; the
+        // group index needs no mask because the bounds assert above caps it.
+        let bank_in_group = word & self.group_mask;
+        let row = (word >> self.group_shift) & self.row_mask;
+        let group_idx = word >> (self.group_shift + self.row_shift);
         BankLocation {
-            bank: (group * g + bank_in_group) as usize,
+            bank: ((group_idx << self.group_shift) | bank_in_group) as usize,
             row: row as usize,
         }
     }
@@ -256,7 +276,40 @@ impl AddressRemapper {
     ///
     /// Panics if the location is outside the memory geometry.
     #[must_use]
+    #[inline]
     pub fn unmap(&self, loc: BankLocation) -> u64 {
+        assert!(loc.bank < self.num_banks && loc.row < self.rows_per_bank);
+        let bank = loc.bank as u64;
+        let group_idx = bank >> self.group_shift;
+        let bank_in_group = bank & self.group_mask;
+        (group_idx << (self.group_shift + self.row_shift))
+            | ((loc.row as u64) << self.group_shift)
+            | bank_in_group
+    }
+}
+
+/// The pre-table per-access arithmetic, kept only as the test oracle: the
+/// div/mod bit gathering the precomputed shift/mask path replaced. Dead on
+/// the hot path by construction — the equivalence test below proves the
+/// table path reproduces it exhaustively.
+#[cfg(test)]
+impl AddressRemapper {
+    fn map_word_arith(&self, word: u64) -> BankLocation {
+        assert!(word < self.capacity_words());
+        let g = self.group_banks as u64;
+        let rows = self.rows_per_bank as u64;
+        let group_capacity = g * rows;
+        let group = word / group_capacity;
+        let local = word % group_capacity;
+        let bank_in_group = local % g;
+        let row = local / g;
+        BankLocation {
+            bank: (group * g + bank_in_group) as usize,
+            row: row as usize,
+        }
+    }
+
+    fn unmap_arith(&self, loc: BankLocation) -> u64 {
         assert!(loc.bank < self.num_banks && loc.row < self.rows_per_bank);
         let g = self.group_banks as u64;
         let rows = self.rows_per_bank as u64;
@@ -436,6 +489,31 @@ mod tests {
                         r.map_word(w),
                         bit_permuted(w, banks, g, rows),
                         "banks={banks} rows={rows} mode={mode} word={w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_path_matches_the_arithmetic_oracle_for_every_legal_mode() {
+        // The precomputed shift/mask tables reproduce the original div/mod
+        // bit gathering exhaustively: every word of every legal mode on
+        // every small power-of-two geometry, in both directions.
+        for cfg in small_geometries() {
+            for mode in all_legal_modes(cfg.num_banks()) {
+                let r = AddressRemapper::new(&cfg, mode).unwrap();
+                for w in 0..r.capacity_words() {
+                    let loc = r.map_word(w);
+                    assert_eq!(
+                        loc,
+                        r.map_word_arith(w),
+                        "map_word diverges from oracle: {mode} word {w}"
+                    );
+                    assert_eq!(
+                        r.unmap(loc),
+                        r.unmap_arith(loc),
+                        "unmap diverges from oracle: {mode} loc {loc:?}"
                     );
                 }
             }

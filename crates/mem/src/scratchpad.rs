@@ -124,9 +124,14 @@ impl Scratchpad {
     #[must_use]
     pub fn new(config: MemConfig) -> Self {
         let bank_bytes = config.bank_width_bytes * config.rows_per_bank;
+        // Allocate each bank with `vec![0; n]` individually: that form hits
+        // the zeroed-allocation fast path (lazy zero pages), whereas
+        // `vec![inner; num_banks]` would clone the first bank with an eager
+        // memcpy per copy — at the default 16 MiB geometry that one-time
+        // memset costs more host time than simulating a small workload.
         Scratchpad {
             config,
-            banks: vec![vec![0; bank_bytes]; config.num_banks],
+            banks: (0..config.num_banks).map(|_| vec![0; bank_bytes]).collect(),
         }
     }
 

@@ -25,8 +25,8 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use dm_sim::{
-    Counter, Cycle, Distribution, Instrumented, LatencyHistogram, MetricsRegistry,
-    RoundRobinArbiter, Trace, TraceEventKind, TraceMode,
+    Counter, Cycle, Distribution, Instrumented, LatencyHistogram, MetricsRegistry, NextActivity,
+    RoundRobinArbiter, StableHasher, Trace, TraceEventKind, TraceMode,
 };
 use serde::{Deserialize, Serialize};
 
@@ -554,6 +554,28 @@ impl MemorySubsystem {
         self.in_flight.is_empty() && self.submissions.is_empty()
     }
 
+    /// Fast-forward support: advances the clock across `span` cycles in
+    /// which the subsystem provably does nothing — no submissions pending
+    /// and no in-flight response due before `cycle + span`.
+    ///
+    /// Equivalent to `span` consecutive [`arbitrate`](Self::arbitrate) calls
+    /// with zero submissions: those only clear already-empty scratch and
+    /// advance the clock, so skipping them is invisible to every statistic
+    /// and histogram.
+    pub fn advance_idle(&mut self, span: u64) {
+        debug_assert!(
+            self.submissions.is_empty(),
+            "advance_idle with submissions pending would drop arbitration"
+        );
+        debug_assert!(
+            self.in_flight
+                .front()
+                .is_none_or(|read| read.due >= self.cycle + span),
+            "advance_idle span crosses an in-flight response delivery"
+        );
+        self.cycle += span;
+    }
+
     fn ensure_traffic_started(&mut self) {
         if !self.traffic_started {
             self.traffic_started = true;
@@ -565,6 +587,36 @@ impl MemorySubsystem {
             self.per_requester_latency =
                 vec![LatencyTelemetry::default(); self.requester_names.len()];
         }
+    }
+}
+
+impl NextActivity for MemorySubsystem {
+    /// In-flight responses make the subsystem active at the earliest `due`
+    /// cycle (the `in_flight` queue is due-ordered: grants happen in cycle
+    /// order with a fixed latency, so the front is the minimum). Pending
+    /// submissions pin activity to `now`; an empty crossbar is idle until a
+    /// requester pokes it.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.submissions.is_empty() {
+            return Some(now);
+        }
+        self.in_flight.front().map(|read| read.due)
+    }
+
+    /// Digest over the state a skipped span must leave untouched: access
+    /// statistics and queue depths. Deliberately excludes the clock (the
+    /// replay advances it) and the latency histograms (recorded only at
+    /// grants/deliveries, which a skippable span cannot contain).
+    fn activity_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.stats.reads.get());
+        h.write_u64(self.stats.writes.get());
+        h.write_u64(self.stats.submissions.get());
+        h.write_u64(self.stats.resubmissions.get());
+        h.write_u64(self.stats.conflicts.get());
+        h.write_usize(self.submissions.len());
+        h.write_usize(self.in_flight.len());
+        h.finish()
     }
 }
 
@@ -839,6 +891,28 @@ mod tests {
         assert!(!mem.is_idle());
         mem.take_responses();
         assert!(mem.is_idle());
+    }
+
+    #[test]
+    fn next_activity_tracks_in_flight_due_and_advance_idle_skips_to_it() {
+        let mut mem = subsystem();
+        mem.set_read_latency(4);
+        let r = mem.register_requester("t");
+        assert_eq!(mem.next_activity(mem.cycle()), None, "empty crossbar idles");
+        mem.submit(read(r, 0, 0, 0)).unwrap();
+        assert_eq!(
+            mem.next_activity(mem.cycle()),
+            Some(mem.cycle()),
+            "pending submission pins activity to now"
+        );
+        mem.arbitrate(); // cycle 0 -> 1, response due at cycle 4
+        assert_eq!(mem.next_activity(mem.cycle()), Some(Cycle::new(4)));
+        let digest = mem.activity_digest();
+        mem.advance_idle(3); // 1 -> 4, exactly up to the delivery
+        assert_eq!(mem.cycle(), Cycle::new(4));
+        assert_eq!(mem.activity_digest(), digest, "idle skip changes nothing");
+        assert_eq!(mem.take_responses().len(), 1);
+        assert_eq!(mem.next_activity(mem.cycle()), None);
     }
 
     #[test]

@@ -56,6 +56,7 @@ impl Word {
     ///
     /// Panics if `bytes` is longer than [`Word::CAPACITY`].
     #[must_use]
+    #[inline]
     pub fn from_slice(bytes: &[u8]) -> Self {
         assert!(
             bytes.len() <= Self::CAPACITY,
@@ -75,6 +76,7 @@ impl Word {
     ///
     /// Panics if `len` exceeds [`Word::CAPACITY`].
     #[must_use]
+    #[inline]
     pub fn zeroed(len: usize) -> Self {
         assert!(
             len <= Self::CAPACITY,
@@ -88,23 +90,27 @@ impl Word {
 
     /// Width of this word in bytes.
     #[must_use]
+    #[inline]
     pub fn len(&self) -> usize {
         self.len as usize
     }
 
     /// `true` for a zero-width word.
     #[must_use]
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// The live bytes.
     #[must_use]
+    #[inline]
     pub fn as_slice(&self) -> &[u8] {
         &self.bytes[..self.len as usize]
     }
 
     /// Mutable access to the live bytes.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
         &mut self.bytes[..self.len as usize]
     }
@@ -126,24 +132,28 @@ impl Default for Word {
 impl Deref for Word {
     type Target = [u8];
 
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl DerefMut for Word {
+    #[inline]
     fn deref_mut(&mut self) -> &mut [u8] {
         self.as_mut_slice()
     }
 }
 
 impl AsRef<[u8]> for Word {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl PartialEq for Word {
+    #[inline]
     fn eq(&self, other: &Self) -> bool {
         self.as_slice() == other.as_slice()
     }
@@ -152,30 +162,35 @@ impl PartialEq for Word {
 impl Eq for Word {}
 
 impl Hash for Word {
+    #[inline]
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.as_slice().hash(state);
     }
 }
 
 impl PartialEq<[u8]> for Word {
+    #[inline]
     fn eq(&self, other: &[u8]) -> bool {
         self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Word {
+    #[inline]
     fn eq(&self, other: &&[u8]) -> bool {
         self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Word {
+    #[inline]
     fn eq(&self, other: &Vec<u8>) -> bool {
         self.as_slice() == other.as_slice()
     }
 }
 
 impl<const N: usize> PartialEq<[u8; N]> for Word {
+    #[inline]
     fn eq(&self, other: &[u8; N]) -> bool {
         self.as_slice() == other.as_slice()
     }

@@ -93,31 +93,37 @@ impl<T> Fifo<T> {
     }
 
     /// Total capacity.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Number of poppable elements.
+    #[inline]
     pub fn len(&self) -> usize {
         self.items.len()
     }
 
     /// Returns `true` when no element is poppable.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
 
     /// Number of slots that are either occupied or reserved.
+    #[inline]
     pub fn committed(&self) -> usize {
         self.items.len() + self.tail.len()
     }
 
     /// Number of slots still available for reservation or direct push.
+    #[inline]
     pub fn free_slots(&self) -> usize {
         self.capacity - self.committed()
     }
 
     /// Returns `true` if at least one slot can be reserved or pushed.
+    #[inline]
     pub fn has_free_slot(&self) -> bool {
         self.free_slots() > 0
     }
@@ -138,6 +144,7 @@ impl<T> Fifo<T> {
     }
 
     /// Highest number of committed slots observed; useful for sizing sweeps.
+    #[inline]
     pub fn high_watermark(&self) -> usize {
         self.high_watermark
     }
@@ -146,6 +153,7 @@ impl<T> Fifo<T> {
     ///
     /// Returns `None` when the FIFO (including reservations) is full — the
     /// modelled ORM then throttles the request side.
+    #[inline]
     pub fn try_reserve(&mut self) -> Option<ReservedSlot> {
         if !self.has_free_slot() {
             return None;
@@ -190,6 +198,7 @@ impl<T> Fifo<T> {
     /// # Errors
     ///
     /// Returns the value back if the FIFO (including reservations) is full.
+    #[inline]
     pub fn push(&mut self, value: T) -> Result<(), T> {
         if !self.has_free_slot() {
             return Err(value);
@@ -205,11 +214,13 @@ impl<T> Fifo<T> {
     }
 
     /// Pops the oldest poppable element.
+    #[inline]
     pub fn pop(&mut self) -> Option<T> {
         self.items.pop_front()
     }
 
     /// Peeks at the oldest poppable element.
+    #[inline]
     pub fn peek(&self) -> Option<&T> {
         self.items.front()
     }
@@ -240,6 +251,7 @@ impl<T> Fifo<T> {
         }
     }
 
+    #[inline]
     fn note_watermark(&mut self) {
         self.high_watermark = self.high_watermark.max(self.committed());
     }

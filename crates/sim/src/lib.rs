@@ -18,6 +18,9 @@
 //! * [`trace`] — an optional, cheap typed event trace for pipelines;
 //! * [`stall`] — the per-cycle stall-cause taxonomy and attribution used to
 //!   explain the paper's ablation deltas;
+//! * [`forward`] — the deterministic fast-forward scheduler: conservative
+//!   [`NextActivity`] horizons, span folding, and the debug-build
+//!   [`SpanCheck`] that catches optimistic horizons;
 //! * [`metrics`] — the hierarchical, path-keyed metrics registry every
 //!   instrumented component snapshots into;
 //! * [`json`] / [`perfetto`] — dependency-free JSON plumbing and the
@@ -42,6 +45,7 @@
 pub mod arbiter;
 pub mod cycle;
 pub mod fifo;
+pub mod forward;
 pub mod hash;
 pub mod histogram;
 pub mod json;
@@ -54,6 +58,7 @@ pub mod trace;
 pub use arbiter::RoundRobinArbiter;
 pub use cycle::Cycle;
 pub use fifo::{Fifo, ReservedSlot};
+pub use forward::{FastForward, NextActivity, SpanCheck};
 pub use hash::StableHasher;
 pub use histogram::LatencyHistogram;
 pub use json::{JsonError, JsonValue};

@@ -146,6 +146,15 @@ impl StallAttribution {
         self.counts[cause.index()] += 1;
     }
 
+    /// Records `n` stalled cycles sharing one cause in O(1).
+    ///
+    /// The fast-forward engine proves the stall cause is constant across a
+    /// skipped span and attributes the whole span at once; the result is
+    /// bit-identical to `n` calls to [`record_stall`](Self::record_stall).
+    pub fn record_stall_n(&mut self, cause: StallCause, n: u64) {
+        self.counts[cause.index()] += n;
+    }
+
     /// Cycles the PE array fired.
     #[must_use]
     pub fn fired(&self) -> u64 {
@@ -258,6 +267,19 @@ mod tests {
         assert_eq!(att.count(StallCause::BankConflict(Port::B)), 2);
         assert_eq!(att.count(StallCause::Drain), 0);
         assert!((att.utilization() - 10.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bulk_stall_recording_matches_repeated_single_records() {
+        let mut bulk = StallAttribution::new();
+        let mut single = StallAttribution::new();
+        bulk.record_stall_n(StallCause::NoOperand(Port::B), 17);
+        bulk.record_stall_n(StallCause::Drain, 0);
+        for _ in 0..17 {
+            single.record_stall(StallCause::NoOperand(Port::B));
+        }
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.total_cycles(), 17);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use dm_compiler::{CopyPlan, WriteSource};
 use dm_mem::{Addr, AddressRemapper, MemOp, MemRequest, MemorySubsystem, RequesterId, Word};
+use dm_sim::{Cycle, NextActivity, StableHasher};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SystemError;
@@ -37,6 +38,9 @@ pub struct CopyStats {
 pub struct CopyEngine {
     read_ports: Vec<RequesterId>,
     write_ports: Vec<RequesterId>,
+    /// Fold memory-round-trip idle cycles into one `advance_idle` jump
+    /// (bit-identical stats; see the fast-forward engine in `dm-sim`).
+    fast_forward: bool,
 }
 
 impl CopyEngine {
@@ -55,7 +59,13 @@ impl CopyEngine {
             write_ports: (0..channels)
                 .map(|i| mem.register_requester(format!("copy/wr{i}")))
                 .collect(),
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables idle-cycle elision (on by default).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
     }
 
     /// Number of read (= write) channels.
@@ -94,6 +104,7 @@ impl CopyEngine {
         while writes_done < plan.writes.len() || next_read < plan.reads.len() {
             // Land responses.
             mem.drain_responses(|resp| read_data[resp.tag as usize] = Some(resp.data));
+            let mut submitted_any = false;
             // Issue reads in order.
             for (ch, port) in self.read_ports.iter().enumerate() {
                 if read_pending[ch].is_none() && next_read < plan.reads.len() {
@@ -108,6 +119,7 @@ impl CopyEngine {
                         tag: idx as u64,
                         op: MemOp::Read,
                     })?;
+                    submitted_any = true;
                 }
             }
             // Issue writes whose dependencies have landed.
@@ -127,6 +139,31 @@ impl CopyEngine {
                         tag: 0,
                         op: MemOp::Write { data, mask: None },
                     })?;
+                    submitted_any = true;
+                }
+            }
+            if self.fast_forward && !submitted_any {
+                // Nothing to arbitrate: the engine is waiting for the next
+                // in-flight response (or, with nothing in flight, would spin
+                // to its deadlock budget). Lockstep would burn one empty
+                // `arbitrate` per cycle until that response's due cycle, so
+                // jumping straight there is bit-identical — capped so a
+                // stuck pass reports the same deadlock cycle count.
+                let now = mem.cycle();
+                let span = mem
+                    .next_activity(now)
+                    .map_or(u64::MAX, |at| at.get().saturating_sub(now.get()))
+                    .min(budget + 1 - cycles);
+                if span >= 1 {
+                    mem.advance_idle(span);
+                    cycles += span;
+                    if cycles > budget {
+                        return Err(SystemError::Deadlock {
+                            phase: "copy-engine",
+                            cycles,
+                        });
+                    }
+                    continue;
                 }
             }
             let grants = mem.arbitrate();
@@ -157,6 +194,22 @@ impl CopyEngine {
             words_read: plan.reads.len() as u64,
             words_written: plan.writes.len() as u64,
         })
+    }
+}
+
+impl NextActivity for CopyEngine {
+    /// Between [`run`](Self::run) calls the engine holds no work; within a
+    /// run it drives the clock itself, so it never constrains the system
+    /// scheduler.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    fn activity_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_usize(self.read_ports.len());
+        h.write_usize(self.write_ports.len());
+        h.finish()
     }
 }
 
@@ -309,6 +362,36 @@ mod tests {
         };
         let stats = engine.run(&mut mem, &plan).unwrap();
         assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn fast_forward_matches_lockstep_exactly() {
+        // High-latency memory exposes long idle spans between the read
+        // issue and the dependent writes; elision must not move a single
+        // counter.
+        let run = |fast_forward: bool| {
+            let mut mem = MemorySubsystem::new(MemConfig::new(8, 8, 128).unwrap());
+            mem.set_read_latency(16);
+            let mut engine = CopyEngine::new(&mut mem, 4);
+            engine.set_fast_forward(fast_forward);
+            let plan = CopyPlan {
+                name: "rt".into(),
+                read_mode: fima(),
+                write_mode: fima(),
+                reads: vec![0, 8, 16, 24],
+                writes: (0..4)
+                    .map(|i| (1024 + i * 8, WriteSource::Word(i as usize)))
+                    .collect(),
+            };
+            let stats = engine.run(&mut mem, &plan).unwrap();
+            (stats, mem.cycle(), *mem.stats())
+        };
+        let (ff_stats, ff_cycle, ff_mem) = run(true);
+        let (ls_stats, ls_cycle, ls_mem) = run(false);
+        assert_eq!(ff_stats, ls_stats);
+        assert_eq!(ff_cycle, ls_cycle);
+        assert_eq!(ff_mem, ls_mem);
+        assert!(ff_stats.cycles > 16, "latency actually exposed");
     }
 
     #[test]

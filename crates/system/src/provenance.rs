@@ -11,8 +11,9 @@
 //! were produced by different configurations.
 //!
 //! The fingerprint deliberately EXCLUDES settings that cannot change
-//! simulated behaviour — output checking, trace capture, host phase timing —
-//! so turning diagnostics on or off does not invalidate a baseline.
+//! simulated behaviour — output checking, trace capture, host phase timing,
+//! fast-forward elision — so turning diagnostics on or off does not
+//! invalidate a baseline.
 
 use dm_sim::{JsonValue, StableHasher};
 use dm_workloads::Workload;
@@ -136,6 +137,7 @@ mod tests {
                 check_output: false,
                 trace: TraceMode::Full,
                 time_phases: true,
+                fast_forward: false,
                 ..SystemConfig::default()
             },
             workload(),

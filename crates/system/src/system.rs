@@ -7,8 +7,8 @@ use dm_accel::{GemmArrayConfig, GemmDatapath, Quantizer};
 use dm_compiler::{compile, BufferDepths, CompiledWorkload, FeatureSet};
 use dm_mem::{Addr, AddressRemapper, MemConfig, MemorySubsystem};
 use dm_sim::{
-    Instrumented, MetricsRegistry, Port, StallAttribution, StallCause, Trace, TraceEventKind,
-    TraceMode,
+    FastForward, Instrumented, MetricsRegistry, NextActivity, Port, StallAttribution, StallCause,
+    Trace, TraceEventKind, TraceMode,
 };
 use dm_workloads::{Workload, WorkloadData};
 use serde::{Deserialize, Serialize};
@@ -45,6 +45,13 @@ pub struct SystemConfig {
     /// in [`RunReport::host`], never in the metrics registry, so simulated
     /// results stay bit-identical with timing on or off.
     pub time_phases: bool,
+    /// Elide provably idle spans of the compute loop in O(1) (on by
+    /// default). Every simulated result — cycles, conflicts, utilization,
+    /// latency percentiles, FIFO watermarks, stall attribution — is
+    /// bit-identical with this on or off; only host wall-clock changes.
+    /// Traced runs ([`SystemConfig::trace`] ≠ [`TraceMode::Off`]) fall back
+    /// to lockstep so per-cycle trace timestamps are trivially preserved.
+    pub fast_forward: bool,
 }
 
 impl Default for SystemConfig {
@@ -61,6 +68,7 @@ impl Default for SystemConfig {
             read_latency: 1,
             trace: TraceMode::Off,
             time_phases: false,
+            fast_forward: true,
         }
     }
 }
@@ -102,6 +110,11 @@ impl StallBreakdown {
 /// "where does the simulator spend its time" and feed the regression
 /// harness's throughput figure. They are intentionally kept out of the
 /// metrics registry so metric snapshots stay deterministic.
+///
+/// Invariant: `streamers_ns + memory_ns + pe_ns + fastforward_ns ≤
+/// compute_loop_ns`. Fast-forward work is its own bucket — folding skipped
+/// spans into `compute_loop_ns` slack (or into a simulated phase) would make
+/// phase shares incomparable between elided and lockstep runs.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostTimings {
     /// Nanoseconds in streamer phases (`begin_cycle`, address generation
@@ -112,6 +125,9 @@ pub struct HostTimings {
     /// Nanoseconds in the PE array (handshake decision, datapath step,
     /// quantization).
     pub pe_ns: u64,
+    /// Nanoseconds in the fast-forward engine: horizon evaluation (whether
+    /// or not a skip happened) and the O(1) replay of skipped spans.
+    pub fastforward_ns: u64,
     /// Nanoseconds for the whole compute loop, including bookkeeping not
     /// attributed to a phase.
     pub compute_loop_ns: u64,
@@ -141,6 +157,7 @@ enum Phase {
     Streamers,
     Memory,
     Pe,
+    Fastforward,
 }
 
 impl HostPhaseClock {
@@ -167,6 +184,7 @@ impl HostPhaseClock {
                 Phase::Streamers => self.timings.streamers_ns += ns,
                 Phase::Memory => self.timings.memory_ns += ns,
                 Phase::Pe => self.timings.pe_ns += ns,
+                Phase::Fastforward => self.timings.fastforward_ns += ns,
             }
             self.last = Some(now);
         }
@@ -248,6 +266,49 @@ impl RunReport {
     }
 }
 
+/// Read-only mirror of the compute loop's PE handshake: the port that would
+/// block this cycle and the stall cause that would be recorded, or `None`
+/// if the array would fire. Must stay in exact lockstep with the handshake
+/// chain in [`run_compiled`]; the fast-forward engine uses it to prove that
+/// a span of cycles would all stall identically before folding them.
+fn pe_would_stall(
+    a: &ReadStreamer,
+    b: &ReadStreamer,
+    c: &ReadStreamer,
+    out: &WriteStreamer,
+    needs_c: bool,
+    produces: bool,
+    drained: bool,
+) -> Option<(Port, StallCause)> {
+    let operand_cause = |blocked: &ReadStreamer, port: Port| {
+        if drained {
+            StallCause::Drain
+        } else if blocked.lost_arbitration() {
+            StallCause::BankConflict(port)
+        } else {
+            StallCause::NoOperand(port)
+        }
+    };
+    if !a.can_pop_wide() {
+        Some((Port::A, operand_cause(a, Port::A)))
+    } else if !b.can_pop_wide() {
+        Some((Port::B, operand_cause(b, Port::B)))
+    } else if needs_c && !c.can_pop_wide() {
+        Some((Port::C, operand_cause(c, Port::C)))
+    } else if produces && !out.can_push_wide() {
+        Some((
+            Port::Out,
+            if drained {
+                StallCause::Drain
+            } else {
+                StallCause::WritebackBackpressure
+            },
+        ))
+    } else {
+        None
+    }
+}
+
 /// Compiles and runs one workload on the configured system.
 ///
 /// # Errors
@@ -300,6 +361,7 @@ pub fn run_compiled(
     let mut mem = MemorySubsystem::new(config.mem);
     mem.set_read_latency(config.read_latency.max(1));
     let mut copier = CopyEngine::new(&mut mem, 4);
+    copier.set_fast_forward(config.fast_forward);
     let mut a = ReadStreamer::new(&program.a.design, &program.a.runtime, &mut mem)?;
     let mut b = ReadStreamer::new(&program.b.design, &program.b.runtime, &mut mem)?;
     let mut c = ReadStreamer::new(&program.c.design, &program.c.runtime, &mut mem)?;
@@ -378,8 +440,87 @@ pub fn run_compiled(
     });
     let mut clock = HostPhaseClock::new(config.time_phases);
     let loop_start = config.time_phases.then(Instant::now);
+    // Tracing needs every per-cycle timestamp, so traced runs stay lockstep.
+    let ff_active = config.fast_forward && config.trace == TraceMode::Off;
     while !(a.is_done() && b.is_done() && c.is_done() && out.is_done()) {
         clock.start();
+        if ff_active {
+            let now = mem.cycle();
+            // A cycle is skippable iff no streamer can act on its own, the
+            // PE handshake would stall, and no memory response lands this
+            // cycle. In that state the whole iteration reduces to occupancy
+            // sampling plus one stall tally — replayable in O(1) for the
+            // entire span up to the next response's due cycle.
+            let all_idle = a.next_activity(now).is_none()
+                && b.next_activity(now).is_none()
+                && c.next_activity(now).is_none()
+                && out.next_activity(now).is_none();
+            if all_idle {
+                let needs_c = datapath.needs_c();
+                let produces = datapath.produces_d();
+                let drained = active_cycles == program.total_steps();
+                if let Some((port, cause)) =
+                    pe_would_stall(&a, &b, &c, &out, needs_c, produces, drained)
+                {
+                    // Cap so a wedged system fast-forwards to the exact
+                    // deadlock diagnostic lockstep would produce.
+                    let cap = budget + 1 - compute_cycles;
+                    let span = FastForward::span(now, [mem.next_activity(now)], cap);
+                    // A span of one saves nothing over a lockstep iteration.
+                    if span >= 2 {
+                        #[cfg(debug_assertions)]
+                        let check = dm_sim::SpanCheck::capture([
+                            ("streamer-A", a.activity_digest()),
+                            ("streamer-B", b.activity_digest()),
+                            ("streamer-C", c.activity_digest()),
+                            ("streamer-OUT", out.activity_digest()),
+                            ("mem", mem.activity_digest()),
+                            ("datapath", datapath.activity_digest()),
+                            ("quantizer", quant.activity_digest()),
+                        ]);
+                        a.sample_occupancy_span(span);
+                        b.sample_occupancy_span(span);
+                        c.sample_occupancy_span(span);
+                        out.sample_occupancy_span(span);
+                        match port {
+                            Port::A => stalls.a += span,
+                            Port::B => stalls.b += span,
+                            Port::C => stalls.c += span,
+                            Port::Out => stalls.out += span,
+                        }
+                        attribution.record_stall_n(cause, span);
+                        mem.advance_idle(span);
+                        compute_cycles += span;
+                        #[cfg(debug_assertions)]
+                        check.assert_unchanged([
+                            ("streamer-A", a.activity_digest()),
+                            ("streamer-B", b.activity_digest()),
+                            ("streamer-C", c.activity_digest()),
+                            ("streamer-OUT", out.activity_digest()),
+                            ("mem", mem.activity_digest()),
+                            ("datapath", datapath.activity_digest()),
+                            ("quantizer", quant.activity_digest()),
+                        ]);
+                        debug_assert_eq!(
+                            attribution.total_cycles(),
+                            compute_cycles,
+                            "stall attribution must classify every compute cycle"
+                        );
+                        clock.lap(Phase::Fastforward);
+                        if compute_cycles > budget {
+                            return Err(SystemError::Deadlock {
+                                phase: "compute",
+                                cycles: compute_cycles,
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+            // Horizon evaluation cost on the non-skip path is fast-forward
+            // overhead, not streamer/memory/PE work.
+            clock.lap(Phase::Fastforward);
+        }
         a.begin_cycle();
         b.begin_cycle();
         c.begin_cycle();

@@ -1,0 +1,85 @@
+//! Differential test for the fast-forward engine: every simulated result
+//! must be bit-identical with idle-cycle elision on or off, across the
+//! fig.-7 ablation axis and the read-latency sweep where long idle spans
+//! actually occur.
+
+use dm_compiler::FeatureSet;
+use dm_system::{run_workload, RunReport, SystemConfig};
+use dm_workloads::{ConvSpec, GemmSpec, WorkloadData};
+
+/// Compares the full observable surface of two reports: cycle counts,
+/// stall taxonomy, memory traffic, per-bank heatmap, and the complete
+/// metrics registry (which carries the occupancy/latency histograms and
+/// FIFO high-water marks).
+fn assert_identical(ff: &RunReport, ls: &RunReport, label: &str) {
+    assert_eq!(ff.prepass_cycles, ls.prepass_cycles, "{label}: prepass");
+    assert_eq!(ff.compute_cycles, ls.compute_cycles, "{label}: compute");
+    assert_eq!(ff.active_cycles, ls.active_cycles, "{label}: active");
+    assert_eq!(ff.stalls, ls.stalls, "{label}: stall breakdown");
+    assert_eq!(ff.attribution, ls.attribution, "{label}: attribution");
+    assert_eq!(ff.mem_reads, ls.mem_reads, "{label}: reads");
+    assert_eq!(ff.mem_writes, ls.mem_writes, "{label}: writes");
+    assert_eq!(ff.conflicts, ls.conflicts, "{label}: conflicts");
+    assert_eq!(ff.streamer_stats, ls.streamer_stats, "{label}: streamers");
+    assert_eq!(
+        ff.per_bank_accesses, ls.per_bank_accesses,
+        "{label}: per-bank heatmap"
+    );
+    assert_eq!(ff.metrics, ls.metrics, "{label}: metric registry");
+    assert_eq!(ff.provenance, ls.provenance, "{label}: provenance");
+    assert_eq!(ff.checked, ls.checked, "{label}: golden check");
+}
+
+#[test]
+fn fast_forward_is_bit_identical_across_ablation_and_latency() {
+    let workloads = [
+        WorkloadData::generate(GemmSpec::new(16, 16, 16).into(), 40),
+        WorkloadData::generate(GemmSpec::transposed(16, 16, 16).into(), 41),
+        WorkloadData::generate(ConvSpec::new(10, 10, 8, 8, 3, 3, 1).into(), 42),
+    ];
+    for step in 1..=6 {
+        for latency in [1u64, 4, 16] {
+            for data in &workloads {
+                let config = |fast_forward| SystemConfig {
+                    read_latency: latency,
+                    fast_forward,
+                    ..SystemConfig::default().with_features(FeatureSet::ablation_step(step))
+                };
+                let label = format!("step {step}, latency {latency}, {}", data.workload);
+                let ff = run_workload(&config(true), data)
+                    .unwrap_or_else(|e| panic!("{label} (fast-forward): {e}"));
+                let ls = run_workload(&config(false), data)
+                    .unwrap_or_else(|e| panic!("{label} (lockstep): {e}"));
+                assert_identical(&ff, &ls, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn traced_runs_match_untraced_fast_forwarded_runs() {
+    // Tracing forces lockstep; a traced run and an untraced fast-forwarded
+    // run of the same experiment must still agree on everything that is not
+    // the trace itself — including every event timestamp being consistent
+    // with the elided cycle count (the trace exists only in the traced run,
+    // but its final timestamps bound the same compute_cycles).
+    let data = WorkloadData::generate(GemmSpec::new(16, 16, 16).into(), 43);
+    let base = SystemConfig {
+        read_latency: 16,
+        ..SystemConfig::default().with_features(FeatureSet::ablation_step(1))
+    };
+    let ff = run_workload(&base, &data).unwrap();
+    let traced = run_workload(
+        &SystemConfig {
+            trace: dm_sim::TraceMode::Full,
+            ..base
+        },
+        &data,
+    )
+    .unwrap();
+    assert_eq!(ff.compute_cycles, traced.compute_cycles);
+    assert_eq!(ff.stalls, traced.stalls);
+    assert_eq!(ff.attribution, traced.attribution);
+    assert!(ff.traces.is_empty());
+    assert!(!traced.traces.is_empty());
+}
