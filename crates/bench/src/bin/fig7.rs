@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use dm_compiler::FeatureSet;
-use dm_sim::{Distribution, Port, StallAttribution, StallCause, TraceMode};
+use dm_sim::{Distribution, OperandPort, StallAttribution, StallCause, TraceMode};
 use dm_system::SystemConfig;
 use dm_workloads::{synthetic_suite, WorkloadGroup};
 
@@ -170,11 +170,8 @@ fn main() {
     for step in 1..=6 {
         let at = &attribution[&step];
         let total = at.total_cycles() as f64;
-        let sum_for = |f: &dyn Fn(Port) -> StallCause| -> u64 {
-            [Port::A, Port::B, Port::C]
-                .iter()
-                .map(|&p| at.count(f(p)))
-                .sum()
+        let sum_for = |f: &dyn Fn(OperandPort) -> StallCause| -> u64 {
+            OperandPort::ALL.iter().map(|&p| at.count(f(p))).sum()
         };
         let share = |n: u64| 100.0 * n as f64 / total;
         println!(

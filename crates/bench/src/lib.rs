@@ -13,7 +13,10 @@
 //! | `table3` | Table III — real-network GeMM-core utilization |
 //! | `fig10`  | Fig. 10 — normalized throughput + data-movement cost vs SotA |
 //!
-//! Run them with `cargo run -p dm-bench --release --bin <name>`.
+//! Run them with `cargo run -p dm-bench --release --bin <name>`. Two
+//! harness binaries ride along: `regress` (benchmark regression gate, see
+//! [`regress`]) and `dm-profile` (causal bottleneck profiler, see
+//! [`profile`]).
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -22,6 +25,7 @@ use dm_sim::{perfetto, JsonValue, Trace};
 use dm_system::{run_workload, RunReport, SystemConfig, SystemError};
 use dm_workloads::{Workload, WorkloadData};
 
+pub mod profile;
 pub mod regress;
 
 /// Representative DNN kernels used by the Fig. 10 throughput comparison.

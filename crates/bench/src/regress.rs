@@ -19,7 +19,11 @@ use dm_workloads::{synthetic_suite, table3_models};
 
 /// Document format identifier; bumped when the layout changes
 /// incompatibly. `diff` refuses to compare documents across schemas.
-pub const SCHEMA: &str = "datamaestro-bench-v1";
+///
+/// History: `v1` carried label/fingerprint/utilization/cycles/conflicts/
+/// accesses/latency/fifo_high_water per entry; `v2` added the causal
+/// `blame` subtree (per-phase, per-cause, per-component stall charges).
+pub const SCHEMA: &str = "datamaestro-bench-v2";
 
 /// Relative tolerance used by `diff` when none is given: 1 %.
 pub const DEFAULT_THRESHOLD: f64 = 0.01;
@@ -88,6 +92,7 @@ pub fn entry_json(label: &str, report: &RunReport) -> JsonValue {
             "fifo_high_water".to_owned(),
             JsonValue::from(fifo_high_water(report)),
         ),
+        ("blame".to_owned(), report.blame.to_json()),
     ])
 }
 
@@ -425,7 +430,8 @@ pub fn diff(old: &JsonValue, new: &JsonValue, threshold: f64) -> DiffOutcome {
     let (old_schema, new_schema) = (schema(old), schema(new));
     if old_schema != SCHEMA || new_schema != SCHEMA {
         out.failures.push(format!(
-            "schema mismatch: baseline '{old_schema}', new '{new_schema}', expected '{SCHEMA}'"
+            "schema mismatch: baseline '{old_schema}', new '{new_schema}', expected '{SCHEMA}'; \
+             regenerate the baseline with `regress run --no-host` after a deliberate format bump"
         ));
         return out;
     }
@@ -632,6 +638,9 @@ mod tests {
         );
         assert!(entry.get("utilization").unwrap().as_f64().unwrap() > 0.9);
         assert!(entry.get("fifo_high_water").unwrap().as_u64().unwrap() > 0);
+        let blame = entry.get("blame").expect("v2 entries carry blame");
+        assert!(blame.get("phases").is_some());
+        assert!(blame.get("total").is_some());
         let p99 = entry
             .get("latency")
             .unwrap()

@@ -98,6 +98,20 @@ impl ReadChannel {
         self.slots.len()
     }
 
+    /// The bank the pending (not-yet-granted) request targets, if any —
+    /// the component the blame walk charges a lost arbitration round to.
+    #[must_use]
+    pub fn pending_bank(&self) -> Option<usize> {
+        self.pending.map(|(loc, _)| loc.bank)
+    }
+
+    /// Addresses queued but not yet turned into requests — nonzero while
+    /// the coarse-grained sync gate (not the AGU) withholds the channel.
+    #[must_use]
+    pub fn addr_backlog(&self) -> usize {
+        self.addr_queue.len()
+    }
+
     /// `true` if the channel holds no data, no reservations and no pending
     /// or queued work.
     #[must_use]
@@ -331,6 +345,13 @@ impl WriteChannel {
     #[must_use]
     pub fn backlog(&self) -> usize {
         self.fifo.len()
+    }
+
+    /// The bank the head (next-to-drain) word targets, if any — the
+    /// component the blame walk charges a blocked writeback to.
+    #[must_use]
+    pub fn head_bank(&self) -> Option<usize> {
+        self.fifo.peek().map(|&(loc, _)| loc.bank)
     }
 
     /// `true` if the channel holds no data and no queued addresses.

@@ -20,7 +20,7 @@ use dm_mem::{
     Addr, AddressRemapper, BankLocation, MemConfig, MemResponse, MemorySubsystem, RequesterId,
 };
 use dm_sim::{
-    Counter, Cycle, Instrumented, MetricsRegistry, NextActivity, StableHasher, Trace,
+    BlameLeaf, Counter, Cycle, Instrumented, MetricsRegistry, NextActivity, StableHasher, Trace,
     TraceEventKind, TraceMode,
 };
 use serde::{Deserialize, Serialize};
@@ -311,6 +311,48 @@ impl ReadStreamer {
     #[must_use]
     pub fn can_pop_wide(&self) -> bool {
         self.channels.iter().all(ReadChannel::has_data)
+    }
+
+    /// Walks the dependency chain backwards from a blocked pop and names
+    /// the component instance ultimately responsible, for the system's
+    /// causal blame profile:
+    ///
+    /// 1. the streamer lost bank arbitration last grant round → the bank
+    ///    the denied request targets;
+    /// 2. otherwise the *laggard* (first channel without buffered data,
+    ///    matching [`note_consumer_blocked`](Self::note_consumer_blocked))
+    ///    is examined: a still-pending request → its target bank; a
+    ///    granted in-flight read → the bank serving it (exposed memory
+    ///    latency); queued addresses withheld by the coarse-grained sync
+    ///    gate → the gate; nothing queued → the AGU's cadence.
+    ///
+    /// Pure read; called on stalled cycles only (and once per elided span),
+    /// so it is off the firing hot path.
+    #[must_use]
+    pub fn blame_leaf(&self, mem: &MemorySubsystem) -> BlameLeaf {
+        if self.lost_arbitration {
+            if let Some(bank) = self.channels.iter().find_map(ReadChannel::pending_bank) {
+                return BlameLeaf::Bank(bank);
+            }
+        }
+        let Some(idx) = self.channels.iter().position(|ch| !ch.has_data()) else {
+            return BlameLeaf::Unattributed;
+        };
+        let laggard = &self.channels[idx];
+        if let Some(bank) = laggard.pending_bank() {
+            return BlameLeaf::Bank(bank);
+        }
+        if laggard.outstanding() > 0 {
+            return match mem.oldest_inflight_bank(laggard.requester()) {
+                Some(bank) => BlameLeaf::Bank(bank),
+                None => BlameLeaf::Unattributed,
+            };
+        }
+        let gated = !self.fine_grained && (!self.coarse_open || self.coarse_started[idx]);
+        if laggard.addr_backlog() > 0 && gated {
+            return BlameLeaf::Gate;
+        }
+        BlameLeaf::Agu
     }
 
     /// Records (into this streamer's trace) that the consumer found the

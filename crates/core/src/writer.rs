@@ -8,8 +8,8 @@
 
 use dm_mem::{MemorySubsystem, RequesterId, Word};
 use dm_sim::{
-    Cycle, Instrumented, MetricsRegistry, NextActivity, StableHasher, Trace, TraceEventKind,
-    TraceMode,
+    BlameLeaf, Cycle, Instrumented, MetricsRegistry, NextActivity, StableHasher, Trace,
+    TraceEventKind, TraceMode,
 };
 
 use crate::agu::{SpatialAgu, TemporalAgu};
@@ -215,6 +215,39 @@ impl WriteStreamer {
         } else {
             ready && self.channels.iter().all(WriteChannel::is_quiescent)
         }
+    }
+
+    /// Walks the dependency chain backwards from a blocked push and names
+    /// the component instance responsible, mirroring
+    /// [`ReadStreamer::blame_leaf`](crate::ReadStreamer::blame_leaf):
+    ///
+    /// 1. lost bank arbitration → the bank the head word is draining to;
+    /// 2. otherwise the first channel that cannot accept: a full FIFO →
+    ///    the bank its head word targets; an empty address queue → the
+    ///    AGU's cadence;
+    /// 3. coarse mode blocked on quiescence (all channels individually
+    ///    ready) → the bank still draining the previous wide word.
+    ///
+    /// Pure read; called on stalled cycles only.
+    #[must_use]
+    pub fn blame_leaf(&self) -> BlameLeaf {
+        if self.lost_arbitration {
+            if let Some(bank) = self.channels.iter().find_map(WriteChannel::head_bank) {
+                return BlameLeaf::Bank(bank);
+            }
+        }
+        if let Some(laggard) = self.channels.iter().find(|ch| !ch.can_accept()) {
+            return match laggard.head_bank() {
+                Some(bank) => BlameLeaf::Bank(bank),
+                None => BlameLeaf::Agu,
+            };
+        }
+        // Coarse-mode quiescence gate: every channel could accept, but the
+        // previous wide word has not fully drained yet.
+        if let Some(bank) = self.channels.iter().find_map(WriteChannel::head_bank) {
+            return BlameLeaf::Bank(bank);
+        }
+        BlameLeaf::Unattributed
     }
 
     /// Records (into this streamer's trace) that the producer found the

@@ -554,6 +554,19 @@ impl MemorySubsystem {
         self.in_flight.is_empty() && self.submissions.is_empty()
     }
 
+    /// The bank serving `requester`'s oldest in-flight (granted,
+    /// undelivered) read, if any. The blame-chain walk uses this to charge
+    /// a latency-bound stall to the bank the missing word is coming from;
+    /// the `in_flight` queue is due-ordered, so the first match is the
+    /// response the requester is waiting on.
+    #[must_use]
+    pub fn oldest_inflight_bank(&self, requester: RequesterId) -> Option<usize> {
+        self.in_flight
+            .iter()
+            .find(|read| read.response.requester == requester)
+            .map(|read| read.bank)
+    }
+
     /// Fast-forward support: advances the clock across `span` cycles in
     /// which the subsystem provably does nothing — no submissions pending
     /// and no in-flight response due before `cycle + span`.

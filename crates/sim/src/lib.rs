@@ -18,6 +18,9 @@
 //! * [`trace`] — an optional, cheap typed event trace for pipelines;
 //! * [`stall`] — the per-cycle stall-cause taxonomy and attribution used to
 //!   explain the paper's ablation deltas;
+//! * [`blame`] — the causal blame-chain profile nested under that taxonomy:
+//!   per-phase, per-component-instance charging of every stalled cycle with
+//!   an exact conservation contract against [`StallAttribution`];
 //! * [`forward`] — the deterministic fast-forward scheduler: conservative
 //!   [`NextActivity`] horizons, span folding, and the debug-build
 //!   [`SpanCheck`] that catches optimistic horizons;
@@ -43,6 +46,7 @@
 // The cycle kernel lives here: performance lints are errors, not hints.
 
 pub mod arbiter;
+pub mod blame;
 pub mod cycle;
 pub mod fifo;
 pub mod forward;
@@ -56,6 +60,7 @@ pub mod stats;
 pub mod trace;
 
 pub use arbiter::RoundRobinArbiter;
+pub use blame::{BlameLeaf, BlamePhase, BlameProfile, BlameTree};
 pub use cycle::Cycle;
 pub use fifo::{Fifo, ReservedSlot};
 pub use forward::{FastForward, NextActivity, SpanCheck};
@@ -63,6 +68,6 @@ pub use hash::StableHasher;
 pub use histogram::LatencyHistogram;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Instrumented, MetricValue, MetricsRegistry};
-pub use stall::{Port, StallAttribution, StallCause};
+pub use stall::{OperandPort, Port, StallAttribution, StallCause};
 pub use stats::{Counter, Distribution, Summary};
 pub use trace::{Trace, TraceEvent, TraceEventKind, TraceMode};

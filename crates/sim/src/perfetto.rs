@@ -7,13 +7,17 @@
 //! duration); [`TraceEventKind::SpanBegin`] / [`SpanEnd`] become `B`/`E`
 //! pairs; and runs of consecutive PE fire/stall cycles are coalesced into
 //! single `X` events spanning the run, which keeps compute-phase dumps
-//! compact and makes the stall structure visible at a glance.
+//! compact and makes the stall structure visible at a glance. Every closed
+//! stall run also bumps a cumulative per-cause counter track (`C` events
+//! named `blame: <cause>`), so blame accumulation renders as staircase
+//! plots alongside the event timeline.
 //!
 //! Timestamps map one simulated cycle to one microsecond of trace time (the
 //! format's `ts` unit), so cycle numbers read directly off the Perfetto
 //! ruler.
 
 use crate::json::JsonValue;
+use crate::stall::StallCause;
 use crate::trace::{Trace, TraceEvent, TraceEventKind};
 
 /// The process id all tracks share.
@@ -66,8 +70,22 @@ pub fn chrome_trace_json(tracks: &[(String, Trace)]) -> String {
 
 fn track_events(trace: &Trace, tid: u64, out: &mut Vec<(u64, JsonValue)>) {
     // Coalesce runs of per-cycle PE events: consecutive cycles with the same
-    // fire/stall kind collapse into one spanning X event.
+    // fire/stall kind collapse into one spanning X event. Each closed stall
+    // run additionally bumps a cumulative per-cause counter track (`C`
+    // events named "blame: <cause>"), so the blame accumulation renders as
+    // staircase counter plots in the Perfetto UI.
     let mut run: Option<(u64, u64, TraceEventKind)> = None; // (start, len, kind)
+    let mut blame = [0u64; StallCause::ALL.len()];
+    let mut close_run = |start: u64, len: u64, kind: &TraceEventKind, out: &mut Vec<_>| {
+        out.push((start, complete_event(start, len, kind, tid)));
+        if let TraceEventKind::PeStall { cause } = kind {
+            blame[cause.index()] += len;
+            out.push((
+                start + len,
+                counter_event(start + len, *cause, blame[cause.index()], tid),
+            ));
+        }
+    };
     for event in trace.iter() {
         let ts = event.cycle.get();
         let is_pe = matches!(
@@ -79,7 +97,7 @@ fn track_events(trace: &Trace, tid: u64, out: &mut Vec<(u64, JsonValue)>) {
                 run = Some((start, len + 1, kind.clone()));
                 continue;
             }
-            out.push((start, complete_event(start, len, kind, tid)));
+            close_run(start, len, kind, out);
             run = None;
         }
         if is_pe {
@@ -97,7 +115,7 @@ fn track_events(trace: &Trace, tid: u64, out: &mut Vec<(u64, JsonValue)>) {
         }
     }
     if let Some((start, len, ref kind)) = run {
-        out.push((start, complete_event(start, len, kind, tid)));
+        close_run(start, len, kind, out);
     }
 }
 
@@ -126,6 +144,15 @@ fn complete_event(start: u64, len: u64, kind: &TraceEventKind, tid: u64) -> Json
     fields.push((
         "args".into(),
         JsonValue::object([("cycles".into(), JsonValue::from(len))]),
+    ));
+    JsonValue::Object(fields)
+}
+
+fn counter_event(ts: u64, cause: StallCause, value: u64, tid: u64) -> JsonValue {
+    let mut fields = base_fields("C", &format!("blame: {cause}"), ts, tid);
+    fields.push((
+        "args".into(),
+        JsonValue::object([("cycles".into(), JsonValue::from(value))]),
     ));
     JsonValue::Object(fields)
 }
@@ -163,7 +190,7 @@ fn point_event(event: &TraceEvent, kind: &TraceEventKind, tid: u64) -> JsonValue
 mod tests {
     use super::*;
     use crate::cycle::Cycle;
-    use crate::stall::{Port, StallCause};
+    use crate::stall::OperandPort;
 
     fn pe_trace() -> Trace {
         let mut t = Trace::new();
@@ -176,7 +203,7 @@ mod tests {
                 Cycle::new(c),
                 "pe",
                 TraceEventKind::PeStall {
-                    cause: StallCause::BankConflict(Port::A),
+                    cause: StallCause::BankConflict(OperandPort::A),
                 },
             );
         }
@@ -191,9 +218,10 @@ mod tests {
     #[test]
     fn coalesces_pe_runs() {
         let doc = chrome_trace(&[("pe".into(), pe_trace())]);
-        // 1 metadata + fire×3 run + stall×2 run + lone fire.
+        // 1 metadata + fire×3 run + stall×2 run + its blame counter + lone
+        // fire.
         let evs = events(&doc);
-        assert_eq!(evs.len(), 4);
+        assert_eq!(evs.len(), 5);
         let fire = &evs[1];
         assert_eq!(fire.get("ph").unwrap().as_str(), Some("X"));
         assert_eq!(fire.get("ts").unwrap().as_u64(), Some(0));
@@ -204,9 +232,57 @@ mod tests {
             Some("stall: bank-conflict(A)")
         );
         assert_eq!(stall.get("dur").unwrap().as_u64(), Some(2));
-        let lone = &evs[3];
+        let lone = &evs[4];
         assert_eq!(lone.get("ts").unwrap().as_u64(), Some(9));
         assert_eq!(lone.get("dur").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn stall_runs_emit_cumulative_blame_counters() {
+        let mut t = pe_trace();
+        for c in 10..13 {
+            t.emit(
+                Cycle::new(c),
+                "pe",
+                TraceEventKind::PeStall {
+                    cause: StallCause::BankConflict(OperandPort::A),
+                },
+            );
+        }
+        let doc = chrome_trace(&[("pe".into(), t)]);
+        let counters: Vec<_> = events(&doc)
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        for c in &counters {
+            assert_eq!(
+                c.get("name").unwrap().as_str(),
+                Some("blame: bank-conflict(A)")
+            );
+        }
+        // The counter is cumulative: 2 cycles after the first run, 5 after
+        // the second, each stamped at its run's end.
+        assert_eq!(counters[0].get("ts").unwrap().as_u64(), Some(5));
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .unwrap()
+                .get("cycles")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(counters[1].get("ts").unwrap().as_u64(), Some(13));
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("cycles")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
     }
 
     #[test]

@@ -39,16 +39,51 @@ impl Port {
     }
 }
 
+/// A *read* operand port — the only ports a `NoOperand`/`BankConflict`
+/// stall can name. The writeback stream (`Port::Out`) can never be the
+/// missing operand, so the impossible variants are unrepresentable rather
+/// than silently aliased into another bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OperandPort {
+    /// The A operand stream.
+    A,
+    /// The B operand stream.
+    B,
+    /// The C (accumulator) operand stream.
+    C,
+}
+
+impl OperandPort {
+    /// Every operand port, in reporting order.
+    pub const ALL: [OperandPort; 3] = [OperandPort::A, OperandPort::B, OperandPort::C];
+
+    /// Short label (`"A"`, `"B"`, `"C"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        self.port().label()
+    }
+
+    /// The corresponding general [`Port`].
+    #[must_use]
+    pub fn port(self) -> Port {
+        match self {
+            OperandPort::A => Port::A,
+            OperandPort::B => Port::B,
+            OperandPort::C => Port::C,
+        }
+    }
+}
+
 /// Why the PE array could not fire on one cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum StallCause {
     /// An operand FIFO was empty and its streamer was *not* losing
     /// arbitration on the previous cycle: the stall is exposed memory
     /// latency or AGU cadence, not contention.
-    NoOperand(Port),
+    NoOperand(OperandPort),
     /// An operand FIFO was empty while its streamer lost bank arbitration
     /// on the previous cycle: contention on the scratchpad banks.
-    BankConflict(Port),
+    BankConflict(OperandPort),
     /// All operands were ready but the writeback streamer could not accept
     /// the produced tile.
     WritebackBackpressure,
@@ -60,12 +95,12 @@ pub enum StallCause {
 impl StallCause {
     /// Every cause, in reporting order.
     pub const ALL: [StallCause; 8] = [
-        StallCause::NoOperand(Port::A),
-        StallCause::NoOperand(Port::B),
-        StallCause::NoOperand(Port::C),
-        StallCause::BankConflict(Port::A),
-        StallCause::BankConflict(Port::B),
-        StallCause::BankConflict(Port::C),
+        StallCause::NoOperand(OperandPort::A),
+        StallCause::NoOperand(OperandPort::B),
+        StallCause::NoOperand(OperandPort::C),
+        StallCause::BankConflict(OperandPort::A),
+        StallCause::BankConflict(OperandPort::B),
+        StallCause::BankConflict(OperandPort::C),
         StallCause::WritebackBackpressure,
         StallCause::Drain,
     ];
@@ -74,27 +109,39 @@ impl StallCause {
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
-            StallCause::NoOperand(Port::A) => "no-operand(A)",
-            StallCause::NoOperand(Port::B) => "no-operand(B)",
-            StallCause::NoOperand(Port::C) => "no-operand(C)",
-            StallCause::NoOperand(Port::Out) => "no-operand(OUT)",
-            StallCause::BankConflict(Port::A) => "bank-conflict(A)",
-            StallCause::BankConflict(Port::B) => "bank-conflict(B)",
-            StallCause::BankConflict(Port::C) => "bank-conflict(C)",
-            StallCause::BankConflict(Port::Out) => "bank-conflict(OUT)",
+            StallCause::NoOperand(OperandPort::A) => "no-operand(A)",
+            StallCause::NoOperand(OperandPort::B) => "no-operand(B)",
+            StallCause::NoOperand(OperandPort::C) => "no-operand(C)",
+            StallCause::BankConflict(OperandPort::A) => "bank-conflict(A)",
+            StallCause::BankConflict(OperandPort::B) => "bank-conflict(B)",
+            StallCause::BankConflict(OperandPort::C) => "bank-conflict(C)",
             StallCause::WritebackBackpressure => "writeback-backpressure",
             StallCause::Drain => "drain",
         }
     }
 
-    fn index(self) -> usize {
+    /// The port a stall charges its cycle to: the missing operand's port
+    /// for operand stalls, `Port::Out` for writeback and drain stalls.
+    #[must_use]
+    pub fn port(self) -> Port {
         match self {
-            StallCause::NoOperand(Port::A) => 0,
-            StallCause::NoOperand(Port::B) => 1,
-            StallCause::NoOperand(Port::C | Port::Out) => 2,
-            StallCause::BankConflict(Port::A) => 3,
-            StallCause::BankConflict(Port::B) => 4,
-            StallCause::BankConflict(Port::C | Port::Out) => 5,
+            StallCause::NoOperand(p) | StallCause::BankConflict(p) => p.port(),
+            StallCause::WritebackBackpressure | StallCause::Drain => Port::Out,
+        }
+    }
+
+    /// Dense bucket index, unique per constructible cause (see
+    /// [`StallCause::ALL`] for the order). Total over the type: every
+    /// variant that can be built has its own bucket.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            StallCause::NoOperand(OperandPort::A) => 0,
+            StallCause::NoOperand(OperandPort::B) => 1,
+            StallCause::NoOperand(OperandPort::C) => 2,
+            StallCause::BankConflict(OperandPort::A) => 3,
+            StallCause::BankConflict(OperandPort::B) => 4,
+            StallCause::BankConflict(OperandPort::C) => 5,
             StallCause::WritebackBackpressure => 6,
             StallCause::Drain => 7,
         }
@@ -113,11 +160,11 @@ impl fmt::Display for StallCause {
 /// # Examples
 ///
 /// ```
-/// use dm_sim::{Port, StallAttribution, StallCause};
+/// use dm_sim::{OperandPort, StallAttribution, StallCause};
 ///
 /// let mut att = StallAttribution::new();
 /// att.record_fire();
-/// att.record_stall(StallCause::NoOperand(Port::A));
+/// att.record_stall(StallCause::NoOperand(OperandPort::A));
 /// att.record_stall(StallCause::Drain);
 /// assert_eq!(att.total_cycles(), 3);
 /// assert_eq!(att.stalled(), 2);
@@ -258,13 +305,13 @@ mod tests {
         for _ in 0..10 {
             att.record_fire();
         }
-        att.record_stall(StallCause::BankConflict(Port::B));
-        att.record_stall(StallCause::BankConflict(Port::B));
+        att.record_stall(StallCause::BankConflict(OperandPort::B));
+        att.record_stall(StallCause::BankConflict(OperandPort::B));
         att.record_stall(StallCause::WritebackBackpressure);
         assert_eq!(att.fired(), 10);
         assert_eq!(att.stalled(), 3);
         assert_eq!(att.total_cycles(), 13);
-        assert_eq!(att.count(StallCause::BankConflict(Port::B)), 2);
+        assert_eq!(att.count(StallCause::BankConflict(OperandPort::B)), 2);
         assert_eq!(att.count(StallCause::Drain), 0);
         assert!((att.utilization() - 10.0 / 13.0).abs() < 1e-12);
     }
@@ -273,10 +320,10 @@ mod tests {
     fn bulk_stall_recording_matches_repeated_single_records() {
         let mut bulk = StallAttribution::new();
         let mut single = StallAttribution::new();
-        bulk.record_stall_n(StallCause::NoOperand(Port::B), 17);
+        bulk.record_stall_n(StallCause::NoOperand(OperandPort::B), 17);
         bulk.record_stall_n(StallCause::Drain, 0);
         for _ in 0..17 {
-            single.record_stall(StallCause::NoOperand(Port::B));
+            single.record_stall(StallCause::NoOperand(OperandPort::B));
         }
         assert_eq!(bulk, single);
         assert_eq!(bulk.total_cycles(), 17);
@@ -286,11 +333,11 @@ mod tests {
     fn breakdown_lists_nonzero_causes_in_order() {
         let mut att = StallAttribution::new();
         att.record_stall(StallCause::Drain);
-        att.record_stall(StallCause::NoOperand(Port::A));
+        att.record_stall(StallCause::NoOperand(OperandPort::A));
         let causes: Vec<_> = att.breakdown().into_iter().map(|(c, _)| c).collect();
         assert_eq!(
             causes,
-            vec![StallCause::NoOperand(Port::A), StallCause::Drain]
+            vec![StallCause::NoOperand(OperandPort::A), StallCause::Drain]
         );
     }
 
@@ -314,6 +361,25 @@ mod tests {
     }
 
     #[test]
+    fn label_and_index_are_injective_over_all() {
+        // Every constructible cause gets its own bucket *and* its own
+        // label; no variant silently aliases into another's slot.
+        let indices: std::collections::HashSet<_> =
+            StallCause::ALL.iter().map(|c| c.index()).collect();
+        assert_eq!(indices.len(), StallCause::ALL.len());
+        assert!(StallCause::ALL
+            .iter()
+            .all(|c| c.index() < StallCause::ALL.len()));
+        // ALL is itself exhaustive: index() maps it onto 0..len in order.
+        for (i, cause) in StallCause::ALL.iter().enumerate() {
+            assert_eq!(cause.index(), i, "{} out of reporting order", cause.label());
+        }
+        let labels: std::collections::HashSet<_> =
+            StallCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), StallCause::ALL.len());
+    }
+
+    #[test]
     fn json_reports_all_causes() {
         let mut att = StallAttribution::new();
         att.record_fire();
@@ -328,7 +394,7 @@ mod tests {
     fn display_mentions_every_nonzero_cause() {
         let mut att = StallAttribution::new();
         att.record_fire();
-        att.record_stall(StallCause::BankConflict(Port::A));
+        att.record_stall(StallCause::BankConflict(OperandPort::A));
         let text = att.to_string();
         assert!(text.contains("bank-conflict(A)"));
         assert!(!text.contains("drain"));

@@ -1,0 +1,166 @@
+//! Golden-file test for the Perfetto exporter.
+//!
+//! The Chrome trace-event document is an external interface: `dm-sim trace`
+//! output is loaded into `ui.perfetto.dev`, and downstream tooling parses
+//! the exact field layout. This test pins the serialized bytes of a small
+//! hand-built trace — covering track metadata, coalesced PE fire/stall
+//! runs, the cumulative `blame:` counter tracks, phase spans, and a
+//! bank-conflict point event — against a committed golden file, so any
+//! change to the export format is a reviewed diff instead of a silent
+//! break.
+//!
+//! To regenerate after a *deliberate* format change:
+//!
+//! ```text
+//! DM_BLESS_GOLDEN=1 cargo test -p dm-sim --test perfetto_golden
+//! ```
+
+use dm_sim::perfetto;
+use dm_sim::{Cycle, OperandPort, StallCause, Trace, TraceEventKind};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/perfetto_golden.json"
+);
+
+/// A deterministic two-track trace exercising every exported event shape.
+fn sample_tracks() -> Vec<(String, Trace)> {
+    let mut pe = Trace::new();
+    pe.enable();
+    // Three coalescable fire cycles, a NoOperand(A) stall run, a lone
+    // fire, then a BankConflict(B) stall run: closing each stall run must
+    // emit a cumulative counter sample on its cause's `blame:` track.
+    for c in 0..3 {
+        pe.emit(Cycle::new(c), "pe", TraceEventKind::PeFire);
+    }
+    for c in 3..6 {
+        pe.emit(
+            Cycle::new(c),
+            "pe",
+            TraceEventKind::PeStall {
+                cause: StallCause::NoOperand(OperandPort::A),
+            },
+        );
+    }
+    pe.emit(Cycle::new(6), "pe", TraceEventKind::PeFire);
+    for c in 7..10 {
+        pe.emit(
+            Cycle::new(c),
+            "pe",
+            TraceEventKind::PeStall {
+                cause: StallCause::BankConflict(OperandPort::B),
+            },
+        );
+    }
+    // A second run under the same cause: its counter sample must be
+    // cumulative (3 + 2 cycles), not per-run.
+    for c in 10..12 {
+        pe.emit(Cycle::new(c), "pe", TraceEventKind::PeFire);
+    }
+    for c in 12..14 {
+        pe.emit(
+            Cycle::new(c),
+            "pe",
+            TraceEventKind::PeStall {
+                cause: StallCause::BankConflict(OperandPort::B),
+            },
+        );
+    }
+    pe.emit(Cycle::new(14), "pe", TraceEventKind::PeFire);
+
+    let mut mem = Trace::new();
+    mem.enable();
+    mem.emit(
+        Cycle::new(0),
+        "system",
+        TraceEventKind::SpanBegin {
+            name: "compute".to_owned(),
+        },
+    );
+    mem.emit(
+        Cycle::new(7),
+        "mem",
+        TraceEventKind::BankConflict {
+            bank: 3,
+            contenders: 2,
+        },
+    );
+    mem.emit(
+        Cycle::new(9),
+        "streamer.B",
+        TraceEventKind::FifoEmpty { channel: 1 },
+    );
+    mem.emit(
+        Cycle::new(15),
+        "system",
+        TraceEventKind::SpanEnd {
+            name: "compute".to_owned(),
+        },
+    );
+
+    vec![("pe".to_owned(), pe), ("mem".to_owned(), mem)]
+}
+
+#[test]
+fn chrome_trace_export_matches_golden_file() {
+    let got = perfetto::chrome_trace_json(&sample_tracks());
+    if std::env::var_os("DM_BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect(
+        "missing golden file — regenerate with \
+         DM_BLESS_GOLDEN=1 cargo test -p dm-sim --test perfetto_golden",
+    );
+    assert_eq!(
+        got, want,
+        "Perfetto export drifted from the committed golden file; if the \
+         format change is deliberate, regenerate with DM_BLESS_GOLDEN=1 \
+         cargo test -p dm-sim --test perfetto_golden and review the diff"
+    );
+}
+
+#[test]
+fn golden_file_carries_the_blame_counter_tracks() {
+    // Structural spot-checks on the same document, so the golden file
+    // cannot silently pin a trace that lost its counter samples.
+    let doc = perfetto::chrome_trace(&sample_tracks());
+    let events = match doc.get("traceEvents") {
+        Some(dm_sim::JsonValue::Array(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let phase = |e: &dm_sim::JsonValue| {
+        e.get("ph")
+            .and_then(|p| match p {
+                dm_sim::JsonValue::String(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("every event has ph")
+    };
+    let counters: Vec<_> = events.iter().filter(|e| phase(e) == "C").collect();
+    // Three closed stall runs -> three counter samples.
+    assert_eq!(counters.len(), 3, "one counter sample per closed stall run");
+    let cycles_of = |e: &&dm_sim::JsonValue| {
+        e.get("args")
+            .and_then(|a| a.get("cycles"))
+            .and_then(dm_sim::JsonValue::as_u64)
+            .expect("counter sample carries args.cycles")
+    };
+    let bank_b: Vec<u64> = counters
+        .iter()
+        .filter(|e| {
+            e.get("name").is_some_and(|n| {
+                n == &dm_sim::JsonValue::String(format!(
+                    "blame: {}",
+                    StallCause::BankConflict(OperandPort::B)
+                ))
+            })
+        })
+        .map(cycles_of)
+        .collect();
+    assert_eq!(bank_b, vec![3, 5], "counter samples are cumulative");
+    assert!(events.iter().any(|e| phase(e) == "M"), "track metadata");
+    assert!(events.iter().any(|e| phase(e) == "X"), "coalesced PE runs");
+    assert!(events.iter().any(|e| phase(e) == "B"), "span begin");
+    assert!(events.iter().any(|e| phase(e) == "E"), "span end");
+}

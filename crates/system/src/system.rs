@@ -7,8 +7,8 @@ use dm_accel::{GemmArrayConfig, GemmDatapath, Quantizer};
 use dm_compiler::{compile, BufferDepths, CompiledWorkload, FeatureSet};
 use dm_mem::{Addr, AddressRemapper, MemConfig, MemorySubsystem};
 use dm_sim::{
-    FastForward, Instrumented, MetricsRegistry, NextActivity, Port, StallAttribution, StallCause,
-    Trace, TraceEventKind, TraceMode,
+    BlameLeaf, BlamePhase, BlameProfile, FastForward, Instrumented, MetricsRegistry, NextActivity,
+    OperandPort, Port, StallAttribution, StallCause, Trace, TraceEventKind, TraceMode,
 };
 use dm_workloads::{Workload, WorkloadData};
 use serde::{Deserialize, Serialize};
@@ -231,6 +231,11 @@ pub struct RunReport {
     /// Classification of every compute-phase cycle: fired or stalled, with
     /// the stall cause taxonomy (`fired + stalled == compute_cycles`).
     pub attribution: StallAttribution,
+    /// Causal blame profile: every stalled cycle charged to one component
+    /// instance (bank, AGU, sync gate, flush) under its [`StallCause`],
+    /// segmented into fill/steady/drain phases. Conserves [`Self::attribution`]
+    /// exactly: per cause, `Σ blame leaves == attribution count`.
+    pub blame: BlameProfile,
     /// Snapshot of every instrumented component's metrics, keyed by dotted
     /// component path (`mem.conflicts`, `streamer.A.ch0.granted`, …).
     pub metrics: MetricsRegistry,
@@ -280,7 +285,7 @@ fn pe_would_stall(
     produces: bool,
     drained: bool,
 ) -> Option<(Port, StallCause)> {
-    let operand_cause = |blocked: &ReadStreamer, port: Port| {
+    let operand_cause = |blocked: &ReadStreamer, port: OperandPort| {
         if drained {
             StallCause::Drain
         } else if blocked.lost_arbitration() {
@@ -290,11 +295,11 @@ fn pe_would_stall(
         }
     };
     if !a.can_pop_wide() {
-        Some((Port::A, operand_cause(a, Port::A)))
+        Some((Port::A, operand_cause(a, OperandPort::A)))
     } else if !b.can_pop_wide() {
-        Some((Port::B, operand_cause(b, Port::B)))
+        Some((Port::B, operand_cause(b, OperandPort::B)))
     } else if needs_c && !c.can_pop_wide() {
-        Some((Port::C, operand_cause(c, Port::C)))
+        Some((Port::C, operand_cause(c, OperandPort::C)))
     } else if produces && !out.can_push_wide() {
         Some((
             Port::Out,
@@ -306,6 +311,41 @@ fn pe_would_stall(
         ))
     } else {
         None
+    }
+}
+
+/// Resolves the component-instance blame leaf for one stalled cycle by
+/// dispatching the blame-chain walk to the streamer named by `cause`.
+///
+/// Drain stalls are special: the input FIFOs are legitimately empty, so
+/// whichever port the handshake blocked on, the cycle belongs to the write
+/// path — a specific bank if one is still draining or arbitrating, the
+/// tail flush otherwise.
+fn blame_leaf_for(
+    cause: StallCause,
+    a: &ReadStreamer,
+    b: &ReadStreamer,
+    c: &ReadStreamer,
+    out: &WriteStreamer,
+    mem: &MemorySubsystem,
+) -> BlameLeaf {
+    match cause {
+        StallCause::NoOperand(p) | StallCause::BankConflict(p) => match p {
+            OperandPort::A => a.blame_leaf(mem),
+            OperandPort::B => b.blame_leaf(mem),
+            OperandPort::C => c.blame_leaf(mem),
+        },
+        StallCause::WritebackBackpressure => out.blame_leaf(),
+        StallCause::Drain => {
+            if out.can_push_wide() {
+                BlameLeaf::Flush
+            } else {
+                match out.blame_leaf() {
+                    BlameLeaf::Unattributed => BlameLeaf::Flush,
+                    leaf => leaf,
+                }
+            }
+        }
     }
 }
 
@@ -430,6 +470,7 @@ pub fn run_compiled(
     );
     let mut stalls = StallBreakdown::default();
     let mut attribution = StallAttribution::new();
+    let mut blame = BlameProfile::new(config.mem.num_banks());
     let mut compute_cycles = 0u64;
     let mut active_cycles = 0u64;
     let mut tiles_done = 0u64;
@@ -489,6 +530,20 @@ pub fn run_compiled(
                             Port::Out => stalls.out += span,
                         }
                         attribution.record_stall_n(cause, span);
+                        // The blame walk reads only state the span check
+                        // proves frozen (and the due-ordered in-flight
+                        // queue, untouched until after the span), so the
+                        // leaf is constant across the span: one O(1)
+                        // replay is bit-identical to per-cycle recording.
+                        let phase = if attribution.fired() == 0 {
+                            BlamePhase::Fill
+                        } else if drained {
+                            BlamePhase::Drain
+                        } else {
+                            BlamePhase::Steady
+                        };
+                        let leaf = blame_leaf_for(cause, &a, &b, &c, &out, &mem);
+                        blame.record_n(phase, cause, leaf, span);
                         mem.advance_idle(span);
                         compute_cycles += span;
                         #[cfg(debug_assertions)]
@@ -505,6 +560,10 @@ pub fn run_compiled(
                             attribution.total_cycles(),
                             compute_cycles,
                             "stall attribution must classify every compute cycle"
+                        );
+                        debug_assert!(
+                            blame.conserves(&attribution),
+                            "blame profile must conserve the stall attribution"
                         );
                         clock.lap(Phase::Fastforward);
                         if compute_cycles > budget {
@@ -540,7 +599,17 @@ pub fn run_compiled(
         // Once every compute step has fired, remaining cycles only flush the
         // write path: the input FIFOs are legitimately empty, not starved.
         let drained = active_cycles == program.total_steps();
-        let operand_cause = |blocked: &ReadStreamer, port: Port| {
+        // Phase segmentation: fill until the first fire, drain once every
+        // compute step has issued, steady in between. Derived from loop
+        // state only, so fast-forwarded and lockstep runs agree exactly.
+        let blame_phase = if attribution.fired() == 0 {
+            BlamePhase::Fill
+        } else if drained {
+            BlamePhase::Drain
+        } else {
+            BlamePhase::Steady
+        };
+        let operand_cause = |blocked: &ReadStreamer, port: OperandPort| {
             if drained {
                 StallCause::Drain
             } else if blocked.lost_arbitration() {
@@ -552,17 +621,17 @@ pub fn run_compiled(
         let mut cause = None;
         let fire = if !a.can_pop_wide() {
             stalls.a += 1;
-            cause = Some(operand_cause(&a, Port::A));
+            cause = Some(operand_cause(&a, OperandPort::A));
             a.note_consumer_blocked(now);
             false
         } else if !b.can_pop_wide() {
             stalls.b += 1;
-            cause = Some(operand_cause(&b, Port::B));
+            cause = Some(operand_cause(&b, OperandPort::B));
             b.note_consumer_blocked(now);
             false
         } else if needs_c && !c.can_pop_wide() {
             stalls.c += 1;
-            cause = Some(operand_cause(&c, Port::C));
+            cause = Some(operand_cause(&c, OperandPort::C));
             c.note_consumer_blocked(now);
             false
         } else if produces && !out.can_push_wide() {
@@ -579,6 +648,9 @@ pub fn run_compiled(
         };
         if fire {
             attribution.record_fire();
+            // A firing cycle is steady by definition: the first fire ends
+            // the fill phase, and no fire can happen after drain begins.
+            blame.record_fire(BlamePhase::Steady, now.get());
             sys_trace.emit(now, "pe", TraceEventKind::PeFire);
             let a_word = a.pop_wide();
             let b_word = b.pop_wide();
@@ -596,6 +668,8 @@ pub fn run_compiled(
         } else {
             let cause = cause.expect("every non-firing cycle has a stall cause");
             attribution.record_stall(cause);
+            let leaf = blame_leaf_for(cause, &a, &b, &c, &out, &mem);
+            blame.record(blame_phase, cause, leaf);
             sys_trace.emit(now, "pe", TraceEventKind::PeStall { cause });
         }
         clock.lap(Phase::Pe);
@@ -616,6 +690,10 @@ pub fn run_compiled(
             attribution.total_cycles(),
             compute_cycles,
             "stall attribution must classify every compute cycle"
+        );
+        debug_assert!(
+            blame.conserves(&attribution),
+            "blame profile must conserve the stall attribution"
         );
         if compute_cycles > budget {
             return Err(SystemError::Deadlock {
@@ -639,6 +717,11 @@ pub fn run_compiled(
         attribution.total_cycles(),
         compute_cycles,
         "fired + attributed stalls must cover every compute cycle"
+    );
+    assert!(
+        blame.conserves(&attribution),
+        "blame profile must charge every attributed stall to exactly one \
+         component leaf under the same cause"
     );
 
     // Golden verification.
@@ -752,6 +835,7 @@ pub fn run_compiled(
         active_cycles,
         stalls,
         attribution,
+        blame,
         mem_reads: stats.reads.get(),
         mem_writes: stats.writes.get(),
         conflicts: stats.conflicts.get(),

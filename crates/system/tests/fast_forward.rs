@@ -17,6 +17,12 @@ fn assert_identical(ff: &RunReport, ls: &RunReport, label: &str) {
     assert_eq!(ff.active_cycles, ls.active_cycles, "{label}: active");
     assert_eq!(ff.stalls, ls.stalls, "{label}: stall breakdown");
     assert_eq!(ff.attribution, ls.attribution, "{label}: attribution");
+    assert_eq!(ff.blame, ls.blame, "{label}: blame profile");
+    assert_eq!(
+        ff.blame.to_json().to_json(),
+        ls.blame.to_json().to_json(),
+        "{label}: blame JSON bytes"
+    );
     assert_eq!(ff.mem_reads, ls.mem_reads, "{label}: reads");
     assert_eq!(ff.mem_writes, ls.mem_writes, "{label}: writes");
     assert_eq!(ff.conflicts, ls.conflicts, "{label}: conflicts");

@@ -96,7 +96,8 @@ fn metrics_cover_all_component_scopes() {
 
 /// The Perfetto export of a small traced GeMM run obeys the
 /// `trace_event` schema: known phases only, per-track monotonic and
-/// globally sorted timestamps, balanced B/E span nesting.
+/// globally sorted timestamps, balanced B/E span nesting, and
+/// non-decreasing cumulative blame counters.
 #[test]
 fn perfetto_export_is_valid_trace_event_schema() {
     let cfg = SystemConfig {
@@ -113,12 +114,16 @@ fn perfetto_export_is_valid_trace_event_schema() {
     assert!(!events.is_empty());
     let mut last_ts = 0.0f64;
     let mut open_spans: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     for event in events {
         let ph = event
             .get("ph")
             .and_then(JsonValue::as_str)
             .expect("every event has a phase");
-        assert!(["M", "X", "B", "E"].contains(&ph), "unexpected phase {ph}");
+        assert!(
+            ["M", "X", "B", "E", "C"].contains(&ph),
+            "unexpected phase {ph}"
+        );
         let ts = event
             .get("ts")
             .and_then(JsonValue::as_f64)
@@ -146,9 +151,31 @@ fn perfetto_export_is_valid_trace_event_schema() {
                     .expect("complete events have a duration");
                 assert!(dur >= 1);
             }
+            "C" => {
+                let name = event
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .expect("counter events have a name");
+                assert!(name.starts_with("blame: "), "unexpected counter {name}");
+                let cycles = event
+                    .get("args")
+                    .and_then(|args| args.get("cycles"))
+                    .and_then(JsonValue::as_u64)
+                    .expect("blame counters carry a cycle count");
+                let prev = counters.entry(name.to_string()).or_insert(0);
+                assert!(
+                    cycles >= *prev,
+                    "cumulative counter {name} went backwards ({cycles} < {prev})"
+                );
+                *prev = cycles;
+            }
             _ => {}
         }
     }
+    assert!(
+        !counters.is_empty(),
+        "a stalling run must emit blame counters"
+    );
     assert!(
         open_spans.values().all(|&open| open == 0),
         "every span must be closed"

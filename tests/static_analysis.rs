@@ -9,18 +9,19 @@
 
 use datamaestro_repro::analyze::{analyze_program, LintCode};
 use datamaestro_repro::compiler::{compile, BufferDepths, FeatureSet};
-use datamaestro_repro::system::{run_workload, SystemConfig};
+use datamaestro_repro::sim::{OperandPort, StallCause};
+use datamaestro_repro::system::{run_workload, RunReport, SystemConfig};
 use datamaestro_repro::workloads::{
     synthetic_suite, table3_models, GemmSpec, Workload, WorkloadData,
 };
 
 /// Runs one workload under one feature set, returning the static analysis
-/// and the simulator's observed conflict count.
+/// and the full simulation report.
 fn analyze_and_run(
     workload: Workload,
     features: FeatureSet,
     seed: u64,
-) -> (datamaestro_repro::analyze::Analysis, u64) {
+) -> (datamaestro_repro::analyze::Analysis, RunReport) {
     let cfg = SystemConfig {
         check_output: false,
         ..SystemConfig::default()
@@ -31,7 +32,15 @@ fn analyze_and_run(
         .unwrap_or_else(|e| panic!("{workload} does not compile: {e}"));
     let analysis = analyze_program(&program, &cfg.mem);
     let report = run_workload(&cfg, &data).unwrap_or_else(|e| panic!("{workload}: {e}"));
-    (analysis, report.conflicts)
+    (analysis, report)
+}
+
+/// Stall cycles the blame profiler charged to bank conflicts, all ports.
+fn bank_conflict_blame(report: &RunReport) -> u64 {
+    OperandPort::ALL
+        .iter()
+        .map(|&p| report.blame.cause_total(StallCause::BankConflict(p)))
+        .sum()
 }
 
 #[test]
@@ -45,13 +54,23 @@ fn conflict_free_verdict_is_sound_across_the_ablation() {
     for (i, &workload) in sampled.iter().enumerate() {
         for step in 1..=6 {
             let features = FeatureSet::ablation_step(step);
-            let (analysis, observed) = analyze_and_run(workload, features, i as u64);
+            let (analysis, report) = analyze_and_run(workload, features, i as u64);
+            let observed = report.conflicts;
             if analysis.conflict_free {
                 proven += 1;
                 assert_eq!(
                     observed, 0,
                     "{workload} step {step}: proven conflict-free but the \
                      simulator observed {observed} conflicts"
+                );
+                // The cross-layer theorem: a statically proven placement
+                // must also leave the causal profiler with nothing to
+                // charge to any bank under a conflict cause.
+                assert_eq!(
+                    bank_conflict_blame(&report),
+                    0,
+                    "{workload} step {step}: proven conflict-free but the \
+                     blame profile charges bank-conflict cycles"
                 );
             } else {
                 conflicting += 1;
@@ -87,7 +106,8 @@ fn full_feature_placements_are_proven_free_and_observe_zero() {
     workloads.push(GemmSpec::new(64, 64, 64).into());
     workloads.push(GemmSpec::transposed(32, 32, 32).into());
     for (i, workload) in workloads.into_iter().enumerate() {
-        let (analysis, observed) = analyze_and_run(workload, FeatureSet::full(), i as u64);
+        let (analysis, report) = analyze_and_run(workload, FeatureSet::full(), i as u64);
+        let observed = report.conflicts;
         assert!(
             analysis.report.passes(true),
             "{workload}: committed config fails --deny-warnings: {:?}",
@@ -97,6 +117,11 @@ fn full_feature_placements_are_proven_free_and_observe_zero() {
             assert_eq!(
                 observed, 0,
                 "{workload}: proven free but observed {observed}"
+            );
+            assert_eq!(
+                bank_conflict_blame(&report),
+                0,
+                "{workload}: proven free but bank-conflict blame is nonzero"
             );
         } else {
             assert!(
@@ -114,14 +139,19 @@ fn shared_fima_gemm_bounds_bracket_the_observation() {
     // sweep: GeMM-64 at ablation step 5 places all four operands in one
     // shared FIMA space. The analyzer must refuse to prove freedom and its
     // bounds must bracket the (heavy) observed conflict count.
-    let (analysis, observed) = analyze_and_run(
+    let (analysis, report) = analyze_and_run(
         GemmSpec::new(64, 64, 64).into(),
         FeatureSet::ablation_step(5),
         1,
     );
+    let observed = report.conflicts;
     assert!(!analysis.conflict_free);
     assert!(analysis.report.has_code(LintCode::BankConflict));
     assert!(observed > 0, "step-5 FIMA GeMM-64 is known conflict-heavy");
+    assert!(
+        bank_conflict_blame(&report) > 0,
+        "a conflict-heavy run must charge bank-conflict blame"
+    );
     assert!(analysis.guaranteed_min_conflicts <= observed);
     let max = analysis
         .worst_case_max_conflicts
