@@ -1,39 +1,41 @@
-//! The causal bottleneck profiler CLI.
+//! The critical-path analyzer CLI.
 //!
 //! ```text
-//! dm-profile run  [--step <1..6>] [--full|--quick] [--jobs <n>]
-//!                 [--latency <cycles>] [--no-fast-forward]
-//!                 [--json] [--out <path>]
-//! dm-profile diff [--allow-mismatch] <old.json> <new.json>
+//! dm-critical run  [--step <1..6>] [--full|--quick] [--jobs <n>]
+//!                  [--latency <cycles>] [--no-fast-forward]
+//!                  [--json] [--out <path>]
+//! dm-critical diff [--allow-mismatch] <old.json> <new.json>
 //! ```
 //!
 //! `run` simulates the Fig. 7 ablation slice at one feature step (default
-//! ⑥, fully featured) and prints where the stalled cycles went: which
-//! banks, AGUs, sync gates or the writeback flush each cycle was ultimately
-//! waiting on, segmented into fill/steady/drain phases. `--json` emits the
-//! canonical document instead (to stdout, or to `--out <path>`); it is
-//! byte-identical for any `--jobs` count and with fast-forward on or off,
-//! which CI exploits as a determinism gate. Every run is re-checked against
-//! the blame conservation contract; a violation exits non-zero.
+//! ⑥, fully featured) and prints how the end-to-end critical path
+//! decomposes across resource classes — memory latency, bank conflicts,
+//! FIFO capacity, AGU throughput, PE issue, writeback flush — plus the
+//! ranked what-if projections (predicted saving if one constraint were
+//! relaxed). `--json` emits the canonical document instead (to stdout, or
+//! to `--out <path>`); it is byte-identical for any `--jobs` count and with
+//! fast-forward on or off, which CI exploits as a determinism gate. Every
+//! run is re-checked against the critical-path contract; a violation exits
+//! non-zero.
 //!
-//! `diff` compares two documents — typically adjacent ablation steps — and
-//! names the dominant blame shift. The canonical demonstration is FIMA
-//! placement (step ⑤) against bank-aware remapping (step ⑥), where
-//! bank-conflict blame collapses. Cross-latency documents are refused
-//! unless `--allow-mismatch` is given — latency-sweep comparisons (the
-//! Fig. 7(a) axis) are then possible, behind a loud warning banner.
+//! `diff` compares two documents and names the dominant path shift. The
+//! canonical demonstration is the coupled baseline (step ①) against full
+//! decoupling (step ⑥) at read latency 16, where on-path memory latency
+//! collapses — the Fig. 7(a) explanation. Cross-latency comparisons are
+//! refused unless `--allow-mismatch` is given, in which case a loud
+//! warning banner precedes the deltas.
 
-use dm_bench::profile;
+use dm_bench::critical;
 use dm_sim::JsonValue;
 
 fn usage() -> ! {
     eprintln!("usage:");
     eprintln!(
-        "  dm-profile run  [--step <1..6>] [--full|--quick] [--jobs <n>]\n\
-         \x20                [--latency <cycles>] [--no-fast-forward]\n\
-         \x20                [--json] [--out <path>]"
+        "  dm-critical run  [--step <1..6>] [--full|--quick] [--jobs <n>]\n\
+         \x20                 [--latency <cycles>] [--no-fast-forward]\n\
+         \x20                 [--json] [--out <path>]"
     );
-    eprintln!("  dm-profile diff [--allow-mismatch] <old.json> <new.json>");
+    eprintln!("  dm-critical diff [--allow-mismatch] <old.json> <new.json>");
     std::process::exit(2);
 }
 
@@ -47,7 +49,7 @@ fn main() {
 }
 
 fn run(args: &[String]) {
-    let mut opts = profile::ProfileOptions::default();
+    let mut opts = critical::CriticalOptions::default();
     let mut json = false;
     let mut out: Option<String> = None;
     let mut it = args.iter();
@@ -86,8 +88,8 @@ fn run(args: &[String]) {
             _ => usage(),
         }
     }
-    let doc = profile::profile_document(&opts, |msg| eprintln!("  {msg}")).unwrap_or_else(|e| {
-        eprintln!("dm-profile: {e}");
+    let doc = critical::critical_document(&opts, |msg| eprintln!("  {msg}")).unwrap_or_else(|e| {
+        eprintln!("dm-critical: {e}");
         std::process::exit(1);
     });
     if json {
@@ -95,12 +97,12 @@ fn run(args: &[String]) {
             Some(path) => {
                 std::fs::write(&path, doc.to_json())
                     .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-                println!("wrote profile to {path}");
+                println!("wrote critical-path document to {path}");
             }
             None => println!("{}", doc.to_json()),
         }
     } else {
-        print!("{}", profile::render(&doc));
+        print!("{}", critical::render(&doc));
     }
 }
 
@@ -122,9 +124,9 @@ fn diff(args: &[String]) {
         usage();
     };
     let outcome =
-        profile::diff(&load(old_path), &load(new_path), allow_mismatch).unwrap_or_else(|e| {
-            eprintln!("dm-profile diff: {e}");
+        critical::diff(&load(old_path), &load(new_path), allow_mismatch).unwrap_or_else(|e| {
+            eprintln!("dm-critical diff: {e}");
             std::process::exit(1);
         });
-    print!("{}", profile::render_diff(&outcome, old_path, new_path));
+    print!("{}", critical::render_diff(&outcome, old_path, new_path));
 }

@@ -26,7 +26,10 @@
 //! `guard` gates the fast-forward engine itself: the two documents must
 //! carry byte-identical `suites`/`detail` subtrees, and per suite the
 //! fast-forward run's `host.suites[].cycles_per_sec` must be at least
-//! `--min-ratio` (default 0.9) times the lockstep run's.
+//! `--min-ratio` (default 0.9) times the lockstep run's. The default floor
+//! can also be set through the `DM_GUARD_FLOOR` environment variable —
+//! handy for CI runners with noisy wall clocks — with an explicit
+//! `--min-ratio` still taking precedence.
 
 use dm_bench::regress;
 
@@ -38,6 +41,7 @@ fn usage() -> ! {
     );
     eprintln!("  regress diff  <baseline.json> <new.json> [--threshold <fraction>]");
     eprintln!("  regress guard <fastforward.json> <lockstep.json> [--min-ratio <r>]");
+    eprintln!("                (DM_GUARD_FLOOR overrides the default 0.9 floor)");
     std::process::exit(2);
 }
 
@@ -186,7 +190,16 @@ fn diff(args: &[String]) {
 
 fn guard(args: &[String]) {
     let mut paths = Vec::new();
-    let mut min_ratio = regress::DEFAULT_GUARD_RATIO;
+    // Floor precedence: --min-ratio > DM_GUARD_FLOOR > the built-in 0.9.
+    let mut min_ratio = std::env::var("DM_GUARD_FLOOR")
+        .ok()
+        .map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("DM_GUARD_FLOOR is not a number: '{raw}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(regress::DEFAULT_GUARD_RATIO);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -25,6 +25,7 @@ use dm_sim::{perfetto, JsonValue, Trace};
 use dm_system::{run_workload, RunReport, SystemConfig, SystemError};
 use dm_workloads::{Workload, WorkloadData};
 
+pub mod critical;
 pub mod profile;
 pub mod regress;
 
@@ -91,6 +92,11 @@ pub struct BenchArgs {
     pub metrics_out: Option<String>,
     /// Write a Chrome/Perfetto `trace_event` JSON dump of one traced run.
     pub trace_out: Option<String>,
+    /// Stamp token-level causal flow events (AGU issue → bank grant →
+    /// response delivery) into the `--trace-out` export. Off by default:
+    /// flows add one event triple per unique memory request, which large
+    /// workloads notice in file size.
+    pub flow_events: bool,
     /// Statically lint every configuration before simulating (abort on
     /// error-severity findings).
     pub lint: bool,
@@ -107,6 +113,7 @@ impl Default for BenchArgs {
             jobs: 1,
             metrics_out: None,
             trace_out: None,
+            flow_events: false,
             lint: false,
             no_fast_forward: false,
         }
@@ -121,14 +128,16 @@ impl BenchArgs {
     pub fn system_config(&self) -> SystemConfig {
         SystemConfig {
             fast_forward: !self.no_fast_forward,
+            flow_events: self.flow_events,
             ..SystemConfig::default()
         }
     }
 }
 
 /// Parses the standard bench flags: `--quick`, `--jobs <n>`,
-/// `--metrics-out <path>`, `--trace-out <path>` and `--lint`. Exits with
-/// status 2 on anything else.
+/// `--metrics-out <path>`, `--trace-out <path>`, `--flow-events`,
+/// `--lint` and `--no-fast-forward`. Exits with status 2 on anything
+/// else.
 #[must_use]
 pub fn parse_args() -> BenchArgs {
     let mut parsed = BenchArgs::default();
@@ -138,6 +147,7 @@ pub fn parse_args() -> BenchArgs {
             "--quick" => parsed.quick = true,
             "--lint" => parsed.lint = true,
             "--no-fast-forward" => parsed.no_fast_forward = true,
+            "--flow-events" => parsed.flow_events = true,
             "--jobs" => {
                 parsed.jobs = args
                     .next()
@@ -167,7 +177,7 @@ fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "supported options: --quick, --jobs <n>, --metrics-out <path>, \
-         --trace-out <path>, --lint, --no-fast-forward"
+         --trace-out <path>, --flow-events, --lint, --no-fast-forward"
     );
     std::process::exit(2);
 }

@@ -423,6 +423,10 @@ pub struct ProfileDiff {
     pub old_stalled: u64,
     /// Total stalled cycles on the new side.
     pub new_stalled: u64,
+    /// Read latency of the old document.
+    pub old_latency: u64,
+    /// Read latency of the new document.
+    pub new_latency: u64,
 }
 
 impl ProfileDiff {
@@ -442,10 +446,13 @@ impl ProfileDiff {
 /// # Errors
 ///
 /// Refuses (with a descriptive message) to compare documents whose schema
-/// is not exactly [`SCHEMA`], or that profiled different read latencies —
-/// a latency change moves blame for physical reasons and would masquerade
-/// as a configuration insight.
-pub fn diff(old: &JsonValue, new: &JsonValue) -> Result<ProfileDiff, String> {
+/// is not exactly [`SCHEMA`], or — unless `allow_mismatch` — that profiled
+/// different read latencies: a latency change moves blame for physical
+/// reasons and would masquerade as a configuration insight. Latency-sweep
+/// comparisons (the Fig. 7(a) axis) are sometimes exactly the question,
+/// so `--allow-mismatch` proceeds, and [`render_diff`] prints a loud
+/// warning banner in that case.
+pub fn diff(old: &JsonValue, new: &JsonValue, allow_mismatch: bool) -> Result<ProfileDiff, String> {
     let schema = |doc: &JsonValue| {
         doc.get("schema")
             .and_then(JsonValue::as_str)
@@ -463,10 +470,11 @@ pub fn diff(old: &JsonValue, new: &JsonValue) -> Result<ProfileDiff, String> {
         doc_u64(old, &["read_latency"]),
         doc_u64(new, &["read_latency"]),
     );
-    if old_lat != new_lat {
+    if old_lat != new_lat && !allow_mismatch {
         return Err(format!(
             "read latency differs ({old_lat} vs {new_lat}); profile deltas across \
-             latencies conflate physics with configuration"
+             latencies conflate physics with configuration (pass --allow-mismatch \
+             to compare anyway)"
         ));
     }
 
@@ -516,17 +524,32 @@ pub fn diff(old: &JsonValue, new: &JsonValue) -> Result<ProfileDiff, String> {
         family_deltas: families,
         old_stalled: doc_u64(old, &["cycles", "stalled"]),
         new_stalled: doc_u64(new, &["cycles", "stalled"]),
+        old_latency: old_lat,
+        new_latency: new_lat,
     })
 }
 
 /// Renders a diff: stalled-cycle movement, cause-family deltas, the
-/// dominant shift, and the top component-level changes.
+/// dominant shift, and the top component-level changes. A cross-latency
+/// comparison (possible only via `--allow-mismatch`) gets a loud warning
+/// banner first.
 #[must_use]
 pub fn render_diff(d: &ProfileDiff, old_label: &str, new_label: &str) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let total_delta = d.new_stalled as i64 - d.old_stalled as i64;
     let _ = writeln!(out, "dm-profile diff: {old_label} -> {new_label}");
+    if d.old_latency != d.new_latency {
+        let _ = writeln!(out, "  {}", "=".repeat(68));
+        let _ = writeln!(
+            out,
+            "  WARNING: read latency differs ({} vs {}) — the deltas below\n\
+             \x20 conflate memory physics with configuration changes; proceeding\n\
+             \x20 because --allow-mismatch was given",
+            d.old_latency, d.new_latency
+        );
+        let _ = writeln!(out, "  {}", "=".repeat(68));
+    }
     let _ = writeln!(
         out,
         "  stalled cycles: {} -> {} ({total_delta:+})",
@@ -619,7 +642,7 @@ mod tests {
         // profiler must name that as the dominant shift.
         let old = doc_for_step(5);
         let new = doc_for_step(6);
-        let d = diff(&old, &new).unwrap();
+        let d = diff(&old, &new, false).unwrap();
         let (family, delta) = d.dominant().expect("blame must have moved");
         assert_eq!(family, "bank-conflict", "rows: {:?}", d.family_deltas);
         assert!(
@@ -652,7 +675,7 @@ mod tests {
             "schema".to_owned(),
             JsonValue::from("datamaestro-profile-v0"),
         )]);
-        let err = diff(&bogus, &doc).unwrap_err();
+        let err = diff(&bogus, &doc, false).unwrap_err();
         assert!(err.contains("schema mismatch"), "{err}");
 
         let slow = {
@@ -664,8 +687,18 @@ mod tests {
             let items = vec![("g".to_owned(), Workload::from(GemmSpec::new(32, 32, 32)), 1)];
             document_for_workloads(&opts, &items).unwrap()
         };
-        let err = diff(&doc, &slow).unwrap_err();
+        let err = diff(&doc, &slow, false).unwrap_err();
         assert!(err.contains("read latency differs"), "{err}");
+
+        // --allow-mismatch proceeds (the Fig. 7(a) axis), and the rendered
+        // diff leads with the warning banner. The schema refusal is not
+        // relaxed — a format mismatch is never a physics question.
+        let d = diff(&doc, &slow, true).unwrap();
+        assert_eq!((d.old_latency, d.new_latency), (1, 4));
+        let rendered = render_diff(&d, "fast", "slow");
+        assert!(rendered.contains("WARNING: read latency differs (1 vs 4)"));
+        let err = diff(&bogus, &doc, true).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
     }
 
     #[test]

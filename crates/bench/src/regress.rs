@@ -22,8 +22,10 @@ use dm_workloads::{synthetic_suite, table3_models};
 ///
 /// History: `v1` carried label/fingerprint/utilization/cycles/conflicts/
 /// accesses/latency/fifo_high_water per entry; `v2` added the causal
-/// `blame` subtree (per-phase, per-cause, per-component stall charges).
-pub const SCHEMA: &str = "datamaestro-bench-v2";
+/// `blame` subtree (per-phase, per-cause, per-component stall charges);
+/// `v3` added the `critical` subtree (critical-path composition and
+/// what-if projections).
+pub const SCHEMA: &str = "datamaestro-bench-v3";
 
 /// Relative tolerance used by `diff` when none is given: 1 %.
 pub const DEFAULT_THRESHOLD: f64 = 0.01;
@@ -93,6 +95,7 @@ pub fn entry_json(label: &str, report: &RunReport) -> JsonValue {
             JsonValue::from(fifo_high_water(report)),
         ),
         ("blame".to_owned(), report.blame.to_json()),
+        ("critical".to_owned(), report.critical.to_json()),
     ])
 }
 
@@ -641,6 +644,9 @@ mod tests {
         let blame = entry.get("blame").expect("v2 entries carry blame");
         assert!(blame.get("phases").is_some());
         assert!(blame.get("total").is_some());
+        let critical = entry.get("critical").expect("v3 entries carry critical");
+        assert!(critical.get("composition").is_some());
+        assert!(critical.get("what_ifs").is_some());
         let p99 = entry
             .get("latency")
             .unwrap()

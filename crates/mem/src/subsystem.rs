@@ -178,6 +178,8 @@ struct InFlightRead {
     issued: Cycle,
     granted: Cycle,
     bank: usize,
+    /// Causal flow token id stamped at the request's first submit.
+    flow: u64,
     response: MemResponse,
 }
 
@@ -210,6 +212,17 @@ pub struct MemorySubsystem {
     /// stamp. Sound because a requester has at most one request in the
     /// submit/retry phase at a time (enforced by `DuplicateRequest`).
     issue_cycle: Vec<Option<Cycle>>,
+    /// Flow token id of each requester's currently pending request, valid
+    /// while the matching `issue_cycle` slot is `Some`. Fixed per-requester
+    /// storage (sized with `issue_cycle`): token ids ride existing lifetime
+    /// stamps, never a per-token allocation.
+    pending_flow: Vec<u64>,
+    /// Next flow token id; ids are assigned in submit order, so they are
+    /// deterministic and unique within a run.
+    next_flow_id: u64,
+    /// Emit `FlowIssue`/`FlowGrant`/`FlowDeliver` trace stamps (opt-in on
+    /// top of tracing: flow events inflate traces).
+    flow_events: bool,
     per_bank_latency: Vec<LatencyTelemetry>,
     per_requester_latency: Vec<LatencyTelemetry>,
     stats: MemStats,
@@ -246,6 +259,9 @@ impl MemorySubsystem {
             requester_scratch: Vec::new(),
             per_bank_accesses: vec![0; banks],
             issue_cycle: Vec::new(),
+            pending_flow: Vec::new(),
+            next_flow_id: 0,
+            flow_events: false,
             per_bank_latency: vec![LatencyTelemetry::default(); banks],
             per_requester_latency: Vec::new(),
             stats: MemStats::default(),
@@ -270,6 +286,15 @@ impl MemorySubsystem {
     /// Takes the captured event trace, leaving a disabled one behind.
     pub fn take_trace(&mut self) -> Trace {
         std::mem::take(&mut self.trace)
+    }
+
+    /// Opts into causal flow stamps ([`TraceEventKind::FlowIssue`] /
+    /// [`TraceEventKind::FlowGrant`] / [`TraceEventKind::FlowDeliver`]) on
+    /// the event trace. Off by default — every request emits three events,
+    /// which inflates traces — and a no-op unless tracing is enabled.
+    /// Never affects simulated behaviour.
+    pub fn set_flow_events(&mut self, on: bool) {
+        self.flow_events = on;
     }
 
     /// Registers a requester (e.g. `"streamer-A/ch0"`).
@@ -395,6 +420,13 @@ impl MemorySubsystem {
             let requester = &mut self.per_requester_latency[read.response.requester.0];
             requester.service.record(service);
             requester.end_to_end.record(end_to_end);
+            if self.flow_events {
+                self.trace.emit(
+                    self.cycle,
+                    "xbar",
+                    TraceEventKind::FlowDeliver { id: read.flow },
+                );
+            }
             deliver(read.response);
         }
     }
@@ -439,7 +471,21 @@ impl MemorySubsystem {
         // unique requests, `resubmissions` the retries.
         if self.issue_cycle[idx].is_none() {
             self.issue_cycle[idx] = Some(self.cycle);
+            // Flow token birth: one id per unique request, assigned in
+            // submit order. Retries keep the stamp, like the issue cycle.
+            self.pending_flow[idx] = self.next_flow_id;
+            self.next_flow_id += 1;
             self.stats.submissions.inc();
+            if self.flow_events {
+                self.trace.emit(
+                    self.cycle,
+                    "xbar",
+                    TraceEventKind::FlowIssue {
+                        id: self.pending_flow[idx],
+                        bank: request.loc.bank,
+                    },
+                );
+            }
         } else {
             self.stats.resubmissions.inc();
         }
@@ -506,6 +552,14 @@ impl MemorySubsystem {
             let issued = self.issue_cycle[winner]
                 .take()
                 .expect("granted request was submitted, so it was stamped");
+            let flow = self.pending_flow[winner];
+            if self.flow_events {
+                self.trace.emit(
+                    self.cycle,
+                    "xbar",
+                    TraceEventKind::FlowGrant { id: flow, bank },
+                );
+            }
             let queueing = self.cycle.saturating_sub(issued).get();
             self.per_bank_latency[bank].queueing.record(queueing);
             self.per_requester_latency[winner].queueing.record(queueing);
@@ -518,6 +572,7 @@ impl MemorySubsystem {
                         issued,
                         granted: self.cycle,
                         bank,
+                        flow,
                         response: MemResponse {
                             requester: request.requester,
                             tag: request.tag,
@@ -527,6 +582,15 @@ impl MemorySubsystem {
                 }
                 MemOp::Write { data, mask } => {
                     self.stats.writes.inc();
+                    // A write's token retires at its grant: the commit *is*
+                    // the delivery, so the flow closes here.
+                    if self.flow_events {
+                        self.trace.emit(
+                            self.cycle,
+                            "xbar",
+                            TraceEventKind::FlowDeliver { id: flow },
+                        );
+                    }
                     // Writes commit at the grant: service is zero and the
                     // request's whole lifetime is its queueing delay.
                     self.per_bank_latency[bank].service.record(0);
@@ -597,6 +661,7 @@ impl MemorySubsystem {
             self.submitted = vec![false; self.requester_names.len()];
             self.grants = vec![false; self.requester_names.len()];
             self.issue_cycle = vec![None; self.requester_names.len()];
+            self.pending_flow = vec![0; self.requester_names.len()];
             self.per_requester_latency =
                 vec![LatencyTelemetry::default(); self.requester_names.len()];
         }
@@ -948,6 +1013,110 @@ mod tests {
             }
         );
         assert!(!mem.trace().is_enabled(), "take_trace leaves tracing off");
+    }
+
+    #[test]
+    fn flow_stamps_cover_a_read_token_lifecycle() {
+        let mut mem = subsystem();
+        mem.set_read_latency(2);
+        let r = mem.register_requester("t");
+        mem.set_trace_mode(TraceMode::Full);
+        mem.set_flow_events(true);
+        mem.submit(read(r, 1, 0, 0)).unwrap(); // issued at cycle 0
+        mem.arbitrate(); // granted at cycle 0, due at cycle 2
+        mem.arbitrate(); // -> cycle 2
+        assert_eq!(mem.take_responses().len(), 1);
+        let trace = mem.take_trace();
+        let flows: Vec<_> = trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::FlowIssue { .. }
+                        | TraceEventKind::FlowGrant { .. }
+                        | TraceEventKind::FlowDeliver { .. }
+                )
+            })
+            .collect();
+        assert_eq!(flows.len(), 3, "issue, grant, delivery");
+        assert_eq!(flows[0].kind, TraceEventKind::FlowIssue { id: 0, bank: 1 });
+        assert_eq!(flows[0].cycle, Cycle::new(0));
+        assert_eq!(flows[1].kind, TraceEventKind::FlowGrant { id: 0, bank: 1 });
+        assert_eq!(flows[2].kind, TraceEventKind::FlowDeliver { id: 0 });
+        assert_eq!(flows[2].cycle, Cycle::new(2));
+    }
+
+    #[test]
+    fn flow_stamps_retire_writes_at_the_grant() {
+        let mut mem = subsystem();
+        let r = mem.register_requester("t");
+        mem.set_trace_mode(TraceMode::Full);
+        mem.set_flow_events(true);
+        mem.submit(MemRequest {
+            requester: r,
+            loc: BankLocation { bank: 0, row: 0 },
+            tag: 0,
+            op: MemOp::Write {
+                data: Word::from_slice(&[1; 8]),
+                mask: None,
+            },
+        })
+        .unwrap();
+        mem.arbitrate();
+        let kinds: Vec<_> = mem.take_trace().iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::FlowIssue { id: 0, bank: 0 },
+                TraceEventKind::FlowGrant { id: 0, bank: 0 },
+                TraceEventKind::FlowDeliver { id: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn flow_stamps_are_opt_in_and_ids_survive_retries() {
+        let mut mem = subsystem();
+        let a = mem.register_requester("a");
+        let b = mem.register_requester("b");
+        mem.set_trace_mode(TraceMode::Full);
+        // Without the opt-in, tracing alone emits no flow stamps.
+        mem.submit(read(a, 0, 0, 0)).unwrap();
+        mem.arbitrate();
+        assert!(!mem
+            .take_trace()
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::FlowIssue { .. })));
+        mem.set_trace_mode(TraceMode::Full);
+        mem.set_flow_events(true);
+        // Conflict: the loser's retry keeps its original token id.
+        mem.submit(read(a, 2, 0, 0)).unwrap();
+        mem.submit(read(b, 2, 1, 0)).unwrap();
+        let grants = mem.arbitrate().to_vec();
+        let loser = if grants[a.index()] { b } else { a };
+        let loser_bank = 2;
+        mem.submit(read(loser, loser_bank, 0, 0)).unwrap();
+        mem.arbitrate();
+        let trace = mem.take_trace();
+        let issues: Vec<u64> = trace
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::FlowIssue { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        // Two unique requests this round (ids continue from the pre-opt-in
+        // request, which consumed id 0); the retry stamps no new issue.
+        assert_eq!(issues, vec![1, 2]);
+        let grants_traced: Vec<u64> = trace
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::FlowGrant { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants_traced.len(), 2, "winner then retried loser");
+        assert!(grants_traced.contains(&1) && grants_traced.contains(&2));
     }
 
     #[test]

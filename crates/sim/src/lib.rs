@@ -21,6 +21,9 @@
 //! * [`blame`] — the causal blame-chain profile nested under that taxonomy:
 //!   per-phase, per-component-instance charging of every stalled cycle with
 //!   an exact conservation contract against [`StallAttribution`];
+//! * [`critical`] — critical-path extraction over the token-level causal
+//!   DAG, folded online into O(1) state: per-resource on-path composition
+//!   and validated what-if projections;
 //! * [`forward`] — the deterministic fast-forward scheduler: conservative
 //!   [`NextActivity`] horizons, span folding, and the debug-build
 //!   [`SpanCheck`] that catches optimistic horizons;
@@ -47,6 +50,7 @@
 
 pub mod arbiter;
 pub mod blame;
+pub mod critical;
 pub mod cycle;
 pub mod fifo;
 pub mod forward;
@@ -61,6 +65,7 @@ pub mod trace;
 
 pub use arbiter::RoundRobinArbiter;
 pub use blame::{BlameLeaf, BlamePhase, BlameProfile, BlameTree};
+pub use critical::{CritClass, CriticalProfile, WhatIf};
 pub use cycle::Cycle;
 pub use fifo::{Fifo, ReservedSlot};
 pub use forward::{FastForward, NextActivity, SpanCheck};

@@ -12,9 +12,18 @@
 //! named `blame: <cause>`), so blame accumulation renders as staircase
 //! plots alongside the event timeline.
 //!
+//! Token flow stamps ([`TraceEventKind::FlowIssue`] / [`FlowGrant`] /
+//! [`FlowDeliver`]) become flow events (`ph: "s"` / `"t"` / `"f"` sharing
+//! one numeric `id`), so Perfetto draws each memory request's causal chain
+//! — AGU issue → bank grant → response delivery — as arrows across the
+//! timeline.
+//!
 //! Timestamps map one simulated cycle to one microsecond of trace time (the
 //! format's `ts` unit), so cycle numbers read directly off the Perfetto
 //! ruler.
+//!
+//! [`FlowGrant`]: TraceEventKind::FlowGrant
+//! [`FlowDeliver`]: TraceEventKind::FlowDeliver
 
 use crate::json::JsonValue;
 use crate::stall::StallCause;
@@ -111,6 +120,15 @@ fn track_events(trace: &Trace, tid: u64, out: &mut Vec<(u64, JsonValue)>) {
             TraceEventKind::SpanEnd { name } => {
                 out.push((ts, duration_event("E", ts, name, tid)));
             }
+            TraceEventKind::FlowIssue { id, bank } => {
+                out.push((ts, flow_event("s", ts, *id, Some(*bank), tid)));
+            }
+            TraceEventKind::FlowGrant { id, bank } => {
+                out.push((ts, flow_event("t", ts, *id, Some(*bank), tid)));
+            }
+            TraceEventKind::FlowDeliver { id } => {
+                out.push((ts, flow_event("f", ts, *id, None, tid)));
+            }
             kind => out.push((ts, point_event(event, kind, tid))),
         }
     }
@@ -145,6 +163,24 @@ fn complete_event(start: u64, len: u64, kind: &TraceEventKind, tid: u64) -> Json
         "args".into(),
         JsonValue::object([("cycles".into(), JsonValue::from(len))]),
     ));
+    JsonValue::Object(fields)
+}
+
+fn flow_event(ph: &str, ts: u64, id: u64, bank: Option<usize>, tid: u64) -> JsonValue {
+    let mut fields = base_fields(ph, &format!("req-{id}"), ts, tid);
+    fields.push(("cat".into(), JsonValue::from("flow")));
+    fields.push(("id".into(), JsonValue::from(id)));
+    // Flow finish events bind to the enclosing slice at their timestamp;
+    // "e" (enclosing) keeps the arrow anchored to the delivery cycle.
+    if ph == "f" {
+        fields.push(("bp".into(), JsonValue::from("e")));
+    }
+    if let Some(bank) = bank {
+        fields.push((
+            "args".into(),
+            JsonValue::object([("bank".into(), JsonValue::from(bank))]),
+        ));
+    }
     JsonValue::Object(fields)
 }
 
@@ -367,6 +403,41 @@ mod tests {
             ev.get("args").unwrap().get("contenders").unwrap().as_u64(),
             Some(3)
         );
+    }
+
+    #[test]
+    fn flow_stamps_export_as_flow_events() {
+        let mut t = Trace::new();
+        t.enable();
+        t.emit(
+            Cycle::new(2),
+            "xbar",
+            TraceEventKind::FlowIssue { id: 7, bank: 3 },
+        );
+        t.emit(
+            Cycle::new(4),
+            "xbar",
+            TraceEventKind::FlowGrant { id: 7, bank: 3 },
+        );
+        t.emit(Cycle::new(8), "xbar", TraceEventKind::FlowDeliver { id: 7 });
+        let doc = chrome_trace(&[("mem".into(), t)]);
+        let evs = events(&doc);
+        let phases: Vec<_> = evs[1..]
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(phases, vec!["s", "t", "f"]);
+        for e in &evs[1..] {
+            assert_eq!(e.get("id").unwrap().as_u64(), Some(7));
+            assert_eq!(e.get("cat").unwrap().as_str(), Some("flow"));
+            assert_eq!(e.get("name").unwrap().as_str(), Some("req-7"));
+        }
+        assert_eq!(
+            evs[1].get("args").unwrap().get("bank").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(evs[3].get("bp").unwrap().as_str(), Some("e"));
+        assert!(evs[1].get("bp").is_none());
     }
 
     #[test]

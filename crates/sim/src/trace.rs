@@ -59,6 +59,29 @@ pub enum TraceEventKind {
         /// Why it could not fire.
         cause: StallCause,
     },
+    /// A requester submitted a *new* memory request (retries after a lost
+    /// arbitration are not re-stamped): the start of a token's causal flow.
+    /// `id` is unique per request within a run; Perfetto renders matching
+    /// ids as one flow arrow chain across tracks.
+    FlowIssue {
+        /// Run-unique token id shared by this request's grant and delivery.
+        id: u64,
+        /// The physical bank the request targets.
+        bank: usize,
+    },
+    /// The request won bank arbitration: the flow's intermediate step.
+    FlowGrant {
+        /// Token id stamped at [`TraceEventKind::FlowIssue`].
+        id: u64,
+        /// The granting bank.
+        bank: usize,
+    },
+    /// The response was delivered to its consumer (read data into the
+    /// channel FIFO, or a write committed at its grant): the flow's end.
+    FlowDeliver {
+        /// Token id stamped at [`TraceEventKind::FlowIssue`].
+        id: u64,
+    },
     /// Begin of a named phase; pairs with [`TraceEventKind::SpanEnd`].
     SpanBegin {
         /// Phase name (e.g. `"compute"`).
@@ -85,6 +108,9 @@ impl TraceEventKind {
             TraceEventKind::RemapModeSwitch { .. } => "remap-mode-switch",
             TraceEventKind::PeFire => "fire",
             TraceEventKind::PeStall { .. } => "stall",
+            TraceEventKind::FlowIssue { .. } => "flow-issue",
+            TraceEventKind::FlowGrant { .. } => "flow-grant",
+            TraceEventKind::FlowDeliver { .. } => "flow-deliver",
             TraceEventKind::SpanBegin { .. } => "span-begin",
             TraceEventKind::SpanEnd { .. } => "span-end",
             TraceEventKind::Message(_) => "message",

@@ -77,6 +77,31 @@ fn sample_tracks() -> Vec<(String, Trace)> {
             name: "compute".to_owned(),
         },
     );
+    // Two token lifecycles as causal flow events: issue ("s") → grant
+    // ("t") → delivery ("f"), sharing one numeric flow id per token. The
+    // second token's grant loses a cycle to arbitration.
+    mem.emit(
+        Cycle::new(1),
+        "mem",
+        TraceEventKind::FlowIssue { id: 7, bank: 3 },
+    );
+    mem.emit(
+        Cycle::new(1),
+        "mem",
+        TraceEventKind::FlowGrant { id: 7, bank: 3 },
+    );
+    mem.emit(
+        Cycle::new(2),
+        "mem",
+        TraceEventKind::FlowIssue { id: 8, bank: 3 },
+    );
+    mem.emit(Cycle::new(3), "mem", TraceEventKind::FlowDeliver { id: 7 });
+    mem.emit(
+        Cycle::new(3),
+        "mem",
+        TraceEventKind::FlowGrant { id: 8, bank: 3 },
+    );
+    mem.emit(Cycle::new(5), "mem", TraceEventKind::FlowDeliver { id: 8 });
     mem.emit(
         Cycle::new(7),
         "mem",
@@ -163,4 +188,124 @@ fn golden_file_carries_the_blame_counter_tracks() {
     assert!(events.iter().any(|e| phase(e) == "X"), "coalesced PE runs");
     assert!(events.iter().any(|e| phase(e) == "B"), "span begin");
     assert!(events.iter().any(|e| phase(e) == "E"), "span end");
+}
+
+/// `(ph, id, ts)` of every flow event in the exported document.
+fn flow_events() -> Vec<(String, u64, u64)> {
+    let doc = perfetto::chrome_trace(&sample_tracks());
+    let Some(dm_sim::JsonValue::Array(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    events
+        .iter()
+        .filter(|e| {
+            e.get("cat")
+                .is_some_and(|c| c == &dm_sim::JsonValue::String("flow".to_owned()))
+        })
+        .map(|e| {
+            (
+                e.get("ph")
+                    .and_then(dm_sim::JsonValue::as_str)
+                    .expect("flow event has ph")
+                    .to_owned(),
+                e.get("id")
+                    .and_then(dm_sim::JsonValue::as_u64)
+                    .expect("flow event has a numeric id"),
+                e.get("ts")
+                    .and_then(dm_sim::JsonValue::as_u64)
+                    .expect("flow event has ts"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_flow_id_has_matching_begin_and_end_steps() {
+    // Well-formedness of the flow graph: Perfetto drops (or worse,
+    // misrenders) a flow whose "s" start has no "f" finish. Every id must
+    // open exactly once, close exactly once, and never travel backwards in
+    // time through its steps.
+    let flows = flow_events();
+    assert!(!flows.is_empty(), "the sample trace carries flow events");
+    let ids: std::collections::BTreeSet<u64> = flows.iter().map(|&(_, id, _)| id).collect();
+    for id in ids {
+        let steps: Vec<_> = flows.iter().filter(|&&(_, i, _)| i == id).collect();
+        let count = |ph: &str| steps.iter().filter(|&&(p, _, _)| p == ph).count();
+        assert_eq!(count("s"), 1, "flow {id} must begin exactly once");
+        assert_eq!(count("f"), 1, "flow {id} must end exactly once");
+        assert!(
+            steps
+                .iter()
+                .all(|&(p, _, _)| matches!(p.as_str(), "s" | "t" | "f")),
+            "flow {id} carries an unknown phase"
+        );
+        let ts_of = |ph: &str| {
+            steps
+                .iter()
+                .find(|&&(p, _, _)| p == ph)
+                .map(|&&(_, _, ts)| ts)
+                .unwrap()
+        };
+        for &&(ref p, _, ts) in &steps {
+            if p == "t" {
+                assert!(ts_of("s") <= ts && ts <= ts_of("f"), "flow {id} step order");
+            }
+        }
+        assert!(ts_of("s") <= ts_of("f"), "flow {id} ends before it begins");
+    }
+}
+
+#[test]
+fn flow_ids_are_unique_per_run() {
+    // Two distinct tokens must never share a flow id — Perfetto would
+    // stitch them into one arrow. One "s" per id (checked above) plus
+    // distinct ids across tokens makes the mapping bijective.
+    let flows = flow_events();
+    let starts: Vec<u64> = flows
+        .iter()
+        .filter(|&(p, _, _)| p == "s")
+        .map(|&(_, id, _)| id)
+        .collect();
+    let unique: std::collections::BTreeSet<u64> = starts.iter().copied().collect();
+    assert_eq!(starts.len(), unique.len(), "duplicate flow ids: {starts:?}");
+}
+
+#[test]
+fn counter_tracks_are_monotone() {
+    // The `blame:` counters are cumulative by contract; a sample that goes
+    // down means the exporter emitted per-run values.
+    let doc = perfetto::chrome_trace(&sample_tracks());
+    let Some(dm_sim::JsonValue::Array(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    let mut last: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        if e.get("ph") != Some(&dm_sim::JsonValue::String("C".to_owned())) {
+            continue;
+        }
+        let name = e
+            .get("name")
+            .and_then(dm_sim::JsonValue::as_str)
+            .expect("counter has a name")
+            .to_owned();
+        let ts = e
+            .get("ts")
+            .and_then(dm_sim::JsonValue::as_u64)
+            .expect("counter has ts");
+        let value = e
+            .get("args")
+            .and_then(|a| a.get("cycles"))
+            .and_then(dm_sim::JsonValue::as_u64)
+            .expect("counter carries args.cycles");
+        if let Some(&(prev_ts, prev_value)) = last.get(&name) {
+            assert!(prev_ts <= ts, "counter '{name}' samples out of order");
+            assert!(
+                prev_value <= value,
+                "counter '{name}' went backwards: {prev_value} -> {value}"
+            );
+        }
+        last.insert(name, (ts, value));
+    }
+    assert!(!last.is_empty(), "the sample trace carries counter tracks");
 }

@@ -136,6 +136,7 @@ mod tests {
             &SystemConfig {
                 check_output: false,
                 trace: TraceMode::Full,
+                flow_events: true,
                 time_phases: true,
                 fast_forward: false,
                 ..SystemConfig::default()

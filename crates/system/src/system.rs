@@ -7,8 +7,9 @@ use dm_accel::{GemmArrayConfig, GemmDatapath, Quantizer};
 use dm_compiler::{compile, BufferDepths, CompiledWorkload, FeatureSet};
 use dm_mem::{Addr, AddressRemapper, MemConfig, MemorySubsystem};
 use dm_sim::{
-    BlameLeaf, BlamePhase, BlameProfile, FastForward, Instrumented, MetricsRegistry, NextActivity,
-    OperandPort, Port, StallAttribution, StallCause, Trace, TraceEventKind, TraceMode,
+    BlameLeaf, BlamePhase, BlameProfile, CriticalProfile, FastForward, Instrumented,
+    MetricsRegistry, NextActivity, OperandPort, Port, StallAttribution, StallCause, Trace,
+    TraceEventKind, TraceMode,
 };
 use dm_workloads::{Workload, WorkloadData};
 use serde::{Deserialize, Serialize};
@@ -40,6 +41,12 @@ pub struct SystemConfig {
     /// Event-trace capture for this run ([`TraceMode::Off`] by default;
     /// tracing never affects simulated behaviour, only the report).
     pub trace: TraceMode,
+    /// Stamp causal flow events (request issue → bank grant → response
+    /// delivery) onto the captured trace. Off by default — every memory
+    /// request adds three events, which inflates traces — and a no-op
+    /// unless [`SystemConfig::trace`] is enabled. Like tracing itself,
+    /// never affects simulated behaviour.
+    pub flow_events: bool,
     /// Measure host wall-clock time per tick phase (streamers / memory /
     /// PE array) during the compute loop. Off by default; the timings live
     /// in [`RunReport::host`], never in the metrics registry, so simulated
@@ -67,6 +74,7 @@ impl Default for SystemConfig {
             check_output: true,
             read_latency: 1,
             trace: TraceMode::Off,
+            flow_events: false,
             time_phases: false,
             fast_forward: true,
         }
@@ -236,6 +244,11 @@ pub struct RunReport {
     /// segmented into fill/steady/drain phases. Conserves [`Self::attribution`]
     /// exactly: per cause, `Σ blame leaves == attribution count`.
     pub blame: BlameProfile,
+    /// Critical-path composition: every compute cycle charged to the
+    /// resource whose dependency edge bound it, plus what-if projections.
+    /// Path length equals [`Self::compute_cycles`] and the composition
+    /// refines [`Self::attribution`] ([`CriticalProfile::conserves`]).
+    pub critical: CriticalProfile,
     /// Snapshot of every instrumented component's metrics, keyed by dotted
     /// component path (`mem.conflicts`, `streamer.A.ch0.granted`, …).
     pub metrics: MetricsRegistry,
@@ -409,6 +422,7 @@ pub fn run_compiled(
     let mut sys_trace = config.trace.build();
     if config.trace != TraceMode::Off {
         mem.set_trace_mode(config.trace);
+        mem.set_flow_events(config.flow_events);
         a.set_trace_mode(config.trace);
         b.set_trace_mode(config.trace);
         c.set_trace_mode(config.trace);
@@ -471,6 +485,7 @@ pub fn run_compiled(
     let mut stalls = StallBreakdown::default();
     let mut attribution = StallAttribution::new();
     let mut blame = BlameProfile::new(config.mem.num_banks());
+    let mut critical = CriticalProfile::new(config.read_latency.max(1));
     let mut compute_cycles = 0u64;
     let mut active_cycles = 0u64;
     let mut tiles_done = 0u64;
@@ -544,6 +559,10 @@ pub fn run_compiled(
                         };
                         let leaf = blame_leaf_for(cause, &a, &b, &c, &out, &mem);
                         blame.record_n(phase, cause, leaf, span);
+                        // Same frozen-state argument: the binding critical
+                        // edge is a pure function of (cause, leaf), so the
+                        // whole span charges one class in O(1).
+                        critical.record_stall_n(cause, leaf, span);
                         mem.advance_idle(span);
                         compute_cycles += span;
                         #[cfg(debug_assertions)]
@@ -564,6 +583,10 @@ pub fn run_compiled(
                         debug_assert!(
                             blame.conserves(&attribution),
                             "blame profile must conserve the stall attribution"
+                        );
+                        debug_assert!(
+                            critical.conserves(&attribution),
+                            "critical-path composition must refine the stall attribution"
                         );
                         clock.lap(Phase::Fastforward);
                         if compute_cycles > budget {
@@ -651,6 +674,7 @@ pub fn run_compiled(
             // A firing cycle is steady by definition: the first fire ends
             // the fill phase, and no fire can happen after drain begins.
             blame.record_fire(BlamePhase::Steady, now.get());
+            critical.record_fire();
             sys_trace.emit(now, "pe", TraceEventKind::PeFire);
             let a_word = a.pop_wide();
             let b_word = b.pop_wide();
@@ -670,6 +694,7 @@ pub fn run_compiled(
             attribution.record_stall(cause);
             let leaf = blame_leaf_for(cause, &a, &b, &c, &out, &mem);
             blame.record(blame_phase, cause, leaf);
+            critical.record_stall(cause, leaf);
             sys_trace.emit(now, "pe", TraceEventKind::PeStall { cause });
         }
         clock.lap(Phase::Pe);
@@ -694,6 +719,10 @@ pub fn run_compiled(
         debug_assert!(
             blame.conserves(&attribution),
             "blame profile must conserve the stall attribution"
+        );
+        debug_assert!(
+            critical.conserves(&attribution),
+            "critical-path composition must refine the stall attribution"
         );
         if compute_cycles > budget {
             return Err(SystemError::Deadlock {
@@ -722,6 +751,16 @@ pub fn run_compiled(
         blame.conserves(&attribution),
         "blame profile must charge every attributed stall to exactly one \
          component leaf under the same cause"
+    );
+    assert!(
+        critical.conserves(&attribution),
+        "critical-path composition must refine the stall attribution class \
+         by class"
+    );
+    assert_eq!(
+        critical.path_length(),
+        compute_cycles,
+        "every compute cycle lies on the critical path"
     );
 
     // Golden verification.
@@ -836,6 +875,7 @@ pub fn run_compiled(
         stalls,
         attribution,
         blame,
+        critical,
         mem_reads: stats.reads.get(),
         mem_writes: stats.writes.get(),
         conflicts: stats.conflicts.get(),

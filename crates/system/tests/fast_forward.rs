@@ -18,6 +18,12 @@ fn assert_identical(ff: &RunReport, ls: &RunReport, label: &str) {
     assert_eq!(ff.stalls, ls.stalls, "{label}: stall breakdown");
     assert_eq!(ff.attribution, ls.attribution, "{label}: attribution");
     assert_eq!(ff.blame, ls.blame, "{label}: blame profile");
+    assert_eq!(ff.critical, ls.critical, "{label}: critical path");
+    assert_eq!(
+        ff.critical.to_json().to_json(),
+        ls.critical.to_json().to_json(),
+        "{label}: critical JSON bytes"
+    );
     assert_eq!(
         ff.blame.to_json().to_json(),
         ls.blame.to_json().to_json(),
