@@ -1,22 +1,37 @@
-//! Mode-mismatch advisor: ranks legal addressing modes by predicted
-//! conflict pressure for one stream's spatial burst shape.
+//! Mode-mismatch advisor: ranks legal addressing modes by *predicted
+//! utilization* for one stream's access pattern.
 //!
-//! The score of a mode is the number of channel pairs satisfying the
-//! necessary collision conditions of [`crate::conflict`] (delta ≡ 0 mod g
-//! and |delta| < group span). A mode is only *placement-compatible* when
-//! reinterpreting the stream's existing footprint hull under it does not
-//! spill the stream onto banks owned by concurrently active streams — a
-//! mode switch rewires the bit permutation, it does not move the data.
+//! The primary score of a mode is its roofline term: the hottest-bank
+//! request count over a (capped) walk of the stream's temporal nest — a
+//! bank grants one request per cycle, so this is a sound cycle lower
+//! bound and the quantity the static performance prover ([`crate::roofline`])
+//! minimizes. The per-burst candidate-pair count of [`crate::conflict`]
+//! (delta ≡ 0 mod g and |delta| < group span) breaks ties. A mode is only
+//! *placement-compatible* when reinterpreting the stream's existing
+//! footprint hull under it does not spill the stream onto banks owned by
+//! concurrently active streams — a mode switch rewires the bit
+//! permutation, it does not move the data.
 
 use dm_mem::{AddressingMode, MemConfig};
 
-use crate::pattern::{BankSet, StreamSummary};
+use crate::pattern::{bank_of_word, BankSet, StreamSummary};
+
+/// Walk budget for the predicted-cycles score. Smaller than the conflict
+/// analyzer's cap (the advisor scores every legal mode of every stream);
+/// all modes of one stream walk the same step count, so the ranking stays
+/// an apples-to-apples comparison even when capped.
+const SCORE_WALK_CAP: u64 = 1 << 16;
 
 /// One ranked addressing mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModeScore {
     /// The candidate mode.
     pub mode: AddressingMode,
+    /// Hottest-bank request count over the walked nest prefix — a sound
+    /// cycle lower bound for serving the stream under this mode.
+    pub predicted_cycles: u64,
+    /// Temporal steps the prediction walked (`min(steps, cap)`).
+    pub walked_steps: u64,
     /// Channel pairs that could collide per burst under this mode.
     pub candidate_pairs: usize,
     /// Banks the stream's footprint hull would occupy under this mode.
@@ -39,8 +54,9 @@ pub fn legal_modes(num_banks: usize) -> Vec<AddressingMode> {
     modes
 }
 
-/// Scores one mode for a stream: candidate collision pairs plus the bank
-/// set its footprint hull would occupy.
+/// Scores one mode for a stream: the predicted cycle lower bound
+/// (hottest-bank load over the walked nest), the per-burst candidate
+/// collision pairs, and the bank set its footprint hull would occupy.
 #[must_use]
 pub fn score_mode(s: &StreamSummary, mode: AddressingMode, mem: &MemConfig) -> ModeScore {
     let g = mode.group_banks(mem.num_banks()) as i64;
@@ -54,18 +70,49 @@ pub fn score_mode(s: &StreamSummary, mode: AddressingMode, mem: &MemConfig) -> M
             }
         }
     }
+    let (predicted_cycles, walked_steps) = predicted_cycles(s, g as u64, mem);
     let (lo, hi) = s.word_hull;
     let banks = crate::pattern::hull_bank_set(lo, hi, g as u64, mem);
     ModeScore {
         mode,
+        predicted_cycles,
+        walked_steps,
         candidate_pairs,
         banks,
     }
 }
 
-/// Ranks all legal modes for a stream, best (fewest candidate pairs) first.
-/// Ties prefer larger groups (more interleaving ⇒ more burst parallelism),
-/// with the stream's current mode winning ties at equal group size.
+/// The roofline bank term of the stream's nest reinterpreted under
+/// GIMA(g): hottest-bank request count over the walked (capped) prefix.
+fn predicted_cycles(s: &StreamSummary, g: u64, mem: &MemConfig) -> (u64, u64) {
+    let group_words = g * mem.rows_per_bank() as u64;
+    let mut per_bank = vec![0u64; mem.num_banks()];
+    let mut indices = vec![0u64; s.temporal_bounds.len()];
+    let mut offsets = vec![0i64; s.temporal_bounds.len()];
+    let walked = s.steps.min(SCORE_WALK_CAP);
+    for _ in 0..walked {
+        let q = s.base_word as i64 + offsets.iter().sum::<i64>();
+        for &o in &s.offsets_words {
+            let bank = bank_of_word((q + o) as u64, g, group_words) as usize;
+            per_bank[bank % mem.num_banks()] += 1;
+        }
+        for d in 0..indices.len() {
+            indices[d] += 1;
+            if indices[d] < s.temporal_bounds[d] {
+                offsets[d] += s.temporal_strides_words[d];
+                break;
+            }
+            indices[d] = 0;
+            offsets[d] = 0;
+        }
+    }
+    (per_bank.into_iter().max().unwrap_or(0), walked)
+}
+
+/// Ranks all legal modes for a stream, best (lowest predicted cycle bound)
+/// first; equal bounds fall back to fewest candidate pairs, then larger
+/// groups (more interleaving ⇒ more burst parallelism), with the stream's
+/// current mode winning exact ties.
 ///
 /// `occupied_by_others` is the union of the bank sets of the concurrently
 /// active streams; modes whose reinterpreted footprint intersects it are
@@ -84,6 +131,7 @@ pub fn rank_modes(
         .collect();
     scores.sort_by_key(|score| {
         (
+            score.predicted_cycles,
             score.candidate_pairs,
             std::cmp::Reverse(score.mode.group_banks(mem.num_banks())),
             score.mode != s.mode,
@@ -129,11 +177,20 @@ mod tests {
         let ranked = rank_modes(&s, &mem(), &BankSet::empty(32));
         assert_eq!(ranked[0].mode, AddressingMode::FullyInterleaved);
         assert_eq!(ranked[0].candidate_pairs, 0);
+        // 64 distinct words spread over 32 banks: 2 requests per bank.
+        assert_eq!(ranked[0].predicted_cycles, 2);
+        assert_eq!(ranked[0].walked_steps, 8);
         let nima = ranked
             .iter()
             .find(|m| m.mode == AddressingMode::NonInterleaved)
             .unwrap();
         assert_eq!(nima.candidate_pairs, 28);
+        // All 64 words land in one bank under NIMA: bank-serial.
+        assert_eq!(nima.predicted_cycles, 64);
+        // Predicted cycles are monotone in interleaving for this pattern.
+        for pair in ranked.windows(2) {
+            assert!(pair[0].predicted_cycles <= pair[1].predicted_cycles);
+        }
     }
 
     #[test]

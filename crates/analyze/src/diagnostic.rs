@@ -63,6 +63,10 @@ pub enum LintCode {
     RawHazard,
     /// The channel graph can deadlock (zero capacity, starved port, cycle).
     Deadlock,
+    /// The proven utilization roofline is below the near-peak threshold.
+    PerfBound,
+    /// The steady-state period proof is non-exhaustive (walk was capped).
+    PerfPeriod,
 }
 
 impl LintCode {
@@ -77,6 +81,8 @@ impl LintCode {
             LintCode::Config => "DM-CONFIG",
             LintCode::RawHazard => "DM-RAW-HAZARD",
             LintCode::Deadlock => "DM-DEADLOCK",
+            LintCode::PerfBound => "DM-PERF-BOUND",
+            LintCode::PerfPeriod => "DM-PERF-PERIOD",
         }
     }
 }
@@ -236,6 +242,8 @@ mod tests {
         assert_eq!(LintCode::Config.as_str(), "DM-CONFIG");
         assert_eq!(LintCode::RawHazard.as_str(), "DM-RAW-HAZARD");
         assert_eq!(LintCode::Deadlock.as_str(), "DM-DEADLOCK");
+        assert_eq!(LintCode::PerfBound.as_str(), "DM-PERF-BOUND");
+        assert_eq!(LintCode::PerfPeriod.as_str(), "DM-PERF-PERIOD");
     }
 
     #[test]

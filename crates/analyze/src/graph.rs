@@ -15,8 +15,8 @@
 //!   blows).
 //!
 //! The graph is generic so fixtures and future topologies (multi-PE,
-//! chained extensions) can reuse the same checks; [`ChannelGraph::from_program`]
-//! builds the evaluation system's topology from a compiled workload.
+//! chained extensions) can reuse the same checks; [`system_graph`]
+//! builds the evaluation system's topology from the lowered stream shapes.
 
 use crate::diagnostic::{Diagnostic, LintCode};
 

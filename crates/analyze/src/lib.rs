@@ -15,8 +15,15 @@
 //! * **deadlock freedom** ([`graph`]) — zero-capacity FIFOs, finite credit
 //!   cycles, and token supply/demand imbalances in the channel graph;
 //! * **mode advice** ([`advisor`]) — ranks the legal addressing modes of
-//!   the geometry by predicted conflict pressure, restricted to modes that
-//!   are placement-compatible with the concurrently active streams.
+//!   the geometry by predicted utilization (hottest-bank load over the
+//!   walked nest), restricted to modes that are placement-compatible with
+//!   the concurrently active streams;
+//! * **performance proofs** ([`period`], [`roofline`]) — proves each
+//!   port's request stream periodic with its exact period and per-bank
+//!   per-period request counts, then derives a sound FIFO-depth- and
+//!   conflict-adjusted roofline whose min over ports is a proven upper
+//!   bound on PE utilization, classified in the critical-path taxonomy
+//!   (`dm-predict`, validated by the differential soundness suite).
 //!
 //! The [`system`] module ties these together for a [`dm_compiler`]
 //! program; the `dm-lint` binary exposes them on the command line with
@@ -39,6 +46,8 @@ pub mod diagnostic;
 pub mod fixtures;
 pub mod graph;
 pub mod pattern;
+pub mod period;
+pub mod roofline;
 pub mod system;
 
 pub use advisor::{legal_modes, rank_modes, score_mode, ModeScore};
@@ -46,4 +55,6 @@ pub use conflict::{intra_burst, BurstVerdict, CandidatePair};
 pub use diagnostic::{Diagnostic, LintCode, Report, Severity};
 pub use graph::{system_graph, ChannelGraph};
 pub use pattern::{summarize, BankSet, StreamSummary};
+pub use period::{prove_port, prove_program, PortPeriodProof, ProgramPeriodProof};
+pub use roofline::{perf_diagnostics, predict, prepass_lower_bound, LatencyTerm, Prediction};
 pub use system::{analyze_program, analyze_streams, Analysis, StreamAnalysis, StreamInput};

@@ -1,0 +1,486 @@
+//! Steady-state period proofs for dual-counter AGU request streams.
+//!
+//! A dual-counter affine AGU is a finite loop nest over constant strides:
+//! the burst it issues at temporal step `t` is a pure function of the
+//! nest's counter vector at `t`, and the counter vector itself cycles with
+//! the nest. The *bank signature* of a step — the per-channel vector of
+//! physical banks its words map to under the stream's addressing mode —
+//! therefore traces out an eventually-exactly-periodic sequence. This
+//! module walks the nest (capped, like [`crate::conflict`]), interns each
+//! step's bank signature, and extracts the minimal weak period of the
+//! signature stream with [`dm_sim::minimal_period`]. When the whole nest
+//! fits under the cap the period is exact by exhaustion; otherwise the
+//! proof is marked non-exhaustive and all per-bank counts under-approximate
+//! the full nest (which keeps every downstream bound sound — see
+//! [`crate::roofline`]).
+//!
+//! Unlike [`crate::pattern::summarize`], the prover is *total*: zero-trip
+//! nests, stride-0 dimensions, sub-word strides and out-of-range addresses
+//! all yield a (trivially) periodic proof instead of a refusal — the
+//! address arithmetic runs in `i128` and wraps into the scratchpad word
+//! space with `rem_euclid`, mirroring how a hardware remapper would treat
+//! the low address bits.
+
+use std::collections::HashMap;
+
+use datamaestro::{DesignConfig, RuntimeConfig};
+use dm_compiler::CompiledWorkload;
+use dm_mem::MemConfig;
+use dm_sim::minimal_period;
+
+use crate::diagnostic::{Diagnostic, LintCode};
+use crate::pattern::bank_of_word;
+
+/// Enumeration budget for the signature walk; matches the conflict
+/// analyzer's cap so both analyses degrade together on huge nests.
+const WALK_CAP: u64 = 1 << 22;
+
+/// Proof that one port's request stream is periodic, with its exact
+/// per-period accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortPeriodProof {
+    /// Stream name (from the design).
+    pub name: String,
+    /// Total temporal steps of the nest (may exceed `walked`).
+    pub steps: u64,
+    /// Minimal weak period of the bank-signature stream, in temporal
+    /// steps. Exact for the walked prefix; exact for the whole nest when
+    /// `exhaustive`.
+    pub period: u64,
+    /// `true` when the whole nest was enumerated (`walked == steps`).
+    pub exhaustive: bool,
+    /// Temporal steps actually enumerated (`min(steps, WALK_CAP)`).
+    pub walked: u64,
+    /// Words requested per temporal step (the channel count).
+    pub channels: u64,
+    /// Requests per bank over the walked prefix (length = bank count).
+    pub per_bank_walked: Vec<u64>,
+    /// Requests per bank within the first period (length = bank count).
+    pub per_bank_per_period: Vec<u64>,
+}
+
+impl PortPeriodProof {
+    /// Total requests issued within one period (`channels × period` for a
+    /// fully walked period).
+    #[must_use]
+    pub fn requests_per_period(&self) -> u64 {
+        self.per_bank_per_period.iter().sum()
+    }
+}
+
+/// Periodicity proof for all four ports of a compiled program, with the
+/// joint fire period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramPeriodProof {
+    /// Per-port proofs in `[A, B, C, OUT]` order.
+    pub ports: Vec<PortPeriodProof>,
+    /// PE fires per output-tile step (C/OUT advance once per `k_steps`).
+    pub k_steps: u64,
+    /// Joint period of the four request streams, in PE fires:
+    /// `lcm(P_A, P_B, k·P_C, k·P_OUT)` (saturating at `u64::MAX`).
+    pub fire_period: u64,
+    /// `true` when every port proof is exhaustive.
+    pub exhaustive: bool,
+}
+
+/// Proves the request stream of one port periodic.
+///
+/// Total over all runtime configurations: degenerate nests (zero-trip
+/// bounds, stride 0, single-iteration loops) produce a trivially periodic
+/// proof. Dimension-count mismatches are tolerated by treating missing
+/// strides as `0`.
+///
+/// # Errors
+///
+/// Returns `DM-CONFIG` only when the addressing mode is illegal for the
+/// memory geometry or the temporal bound product overflows `u64`.
+pub fn prove_port(
+    design: &DesignConfig,
+    runtime: &RuntimeConfig,
+    mem: &MemConfig,
+) -> Result<PortPeriodProof, Diagnostic> {
+    let name = design.name().to_owned();
+    let Some(group) = runtime.addressing_mode.checked_group_banks(mem.num_banks()) else {
+        return Err(Diagnostic::error(
+            LintCode::Config,
+            name,
+            format!(
+                "addressing mode {} is illegal for {} banks",
+                runtime.addressing_mode,
+                mem.num_banks()
+            ),
+        ));
+    };
+    let Some(steps) = runtime.checked_total_temporal_steps() else {
+        return Err(Diagnostic::error(
+            LintCode::Config,
+            name,
+            "temporal bound product overflows u64 (pattern too large)".to_owned(),
+        ));
+    };
+
+    let g = group as u64;
+    let rows = mem.rows_per_bank() as u64;
+    let group_words = g * rows;
+    let word = mem.bank_width_bytes() as u64;
+    let capacity_words = i128::from(mem.capacity_bytes() / word);
+
+    // Per-channel byte offsets: the spatial mixed-radix enumeration of
+    // `SpatialAgu`, made total (missing strides read as 0, zero bounds
+    // yield zero channels).
+    let bounds = design.spatial_bounds();
+    let channels: usize = bounds.iter().product();
+    let offsets: Vec<i128> = (0..channels)
+        .map(|c| {
+            let mut rem = c;
+            let mut offset = 0i128;
+            for (d, &bound) in bounds.iter().enumerate() {
+                let digit = (rem % bound) as i128;
+                rem /= bound;
+                offset += digit * i128::from(runtime.spatial_strides.get(d).copied().unwrap_or(0));
+            }
+            offset
+        })
+        .collect();
+
+    let mut per_bank_walked = vec![0u64; mem.num_banks()];
+    let per_bank_per_period = vec![0u64; mem.num_banks()];
+    if steps == 0 || channels == 0 {
+        // Zero-trip nest: the empty stream is trivially 1-periodic.
+        return Ok(PortPeriodProof {
+            name,
+            steps,
+            period: 1,
+            exhaustive: true,
+            walked: steps.min(WALK_CAP),
+            channels: channels as u64,
+            per_bank_walked,
+            per_bank_per_period,
+        });
+    }
+
+    // Walk the nest, interning each step's bank signature. The signature is
+    // a pure function of the temporal byte offset `q`, so repeated offsets
+    // (stride-0 dimensions, revisiting nests) are memoized.
+    let walked = steps.min(WALK_CAP);
+    let mut walker = ByteNestWalker::new(&runtime.temporal_bounds, &runtime.temporal_strides);
+    let mut sig_of_offset: HashMap<i128, u32> = HashMap::new();
+    let mut intern: HashMap<Vec<u64>, u32> = HashMap::new();
+    let mut sig_banks: Vec<Vec<u64>> = Vec::new();
+    let mut ids: Vec<u32> = Vec::with_capacity(walked as usize);
+    let base = i128::from(runtime.base);
+    for _ in 0..walked {
+        let q = base + walker.offset();
+        let id = *sig_of_offset.entry(q).or_insert_with(|| {
+            let sig: Vec<u64> = offsets
+                .iter()
+                .map(|&o| {
+                    let w = (q + o)
+                        .div_euclid(i128::from(word))
+                        .rem_euclid(capacity_words);
+                    bank_of_word(w as u64, g, group_words)
+                })
+                .collect();
+            *intern.entry(sig.clone()).or_insert_with(|| {
+                sig_banks.push(sig);
+                (sig_banks.len() - 1) as u32
+            })
+        });
+        ids.push(id);
+        walker.step();
+    }
+
+    let period = minimal_period(&ids);
+    let mut per_bank_per_period = per_bank_per_period;
+    for (i, &id) in ids.iter().enumerate() {
+        for &b in &sig_banks[id as usize] {
+            per_bank_walked[b as usize] += 1;
+            if (i as u64) < period {
+                per_bank_per_period[b as usize] += 1;
+            }
+        }
+    }
+
+    Ok(PortPeriodProof {
+        name,
+        steps,
+        period,
+        exhaustive: walked == steps,
+        walked,
+        channels: channels as u64,
+        per_bank_walked,
+        per_bank_per_period,
+    })
+}
+
+/// Proves all four port streams of a compiled program periodic and
+/// combines them into the joint fire period.
+///
+/// # Errors
+///
+/// Collects the per-port `DM-CONFIG` diagnostics of every port that
+/// cannot be proven (see [`prove_port`]).
+pub fn prove_program(
+    program: &CompiledWorkload,
+    mem: &MemConfig,
+) -> Result<ProgramPeriodProof, Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let mut ports = Vec::with_capacity(4);
+    for plan in [&program.a, &program.b, &program.c, &program.out] {
+        match prove_port(&plan.design, &plan.runtime, mem) {
+            Ok(proof) => ports.push(proof),
+            Err(d) => diags.push(d),
+        }
+    }
+    if !diags.is_empty() {
+        return Err(diags);
+    }
+    // A and B advance one temporal step per PE fire; C and OUT advance
+    // once per `k_steps` fires, which stretches their periods by `k`.
+    let k = u128::from(program.k_steps.max(1));
+    let joint = [
+        u128::from(ports[0].period),
+        u128::from(ports[1].period),
+        k * u128::from(ports[2].period),
+        k * u128::from(ports[3].period),
+    ]
+    .into_iter()
+    .fold(1u128, lcm_u128);
+    let fire_period = u64::try_from(joint).unwrap_or(u64::MAX);
+    let exhaustive = ports.iter().all(|p| p.exhaustive);
+    Ok(ProgramPeriodProof {
+        ports,
+        k_steps: program.k_steps,
+        fire_period,
+        exhaustive,
+    })
+}
+
+fn lcm_u128(a: u128, b: u128) -> u128 {
+    if a == 0 || b == 0 {
+        return a.max(b).max(1);
+    }
+    (a / gcd_u128(a, b)).saturating_mul(b)
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Dual-counter walk over a temporal nest in *byte* space with `i128`
+/// offsets — the [`crate::conflict`] walker made total (no word conversion,
+/// no overflow, zero-trip bounds simply never step).
+struct ByteNestWalker {
+    bounds: Vec<u64>,
+    strides: Vec<i128>,
+    indices: Vec<u64>,
+    offsets: Vec<i128>,
+}
+
+impl ByteNestWalker {
+    fn new(bounds: &[u64], strides: &[i64]) -> Self {
+        let strides = (0..bounds.len())
+            .map(|d| i128::from(strides.get(d).copied().unwrap_or(0)))
+            .collect::<Vec<_>>();
+        ByteNestWalker {
+            bounds: bounds.to_vec(),
+            strides,
+            indices: vec![0; bounds.len()],
+            offsets: vec![0; bounds.len()],
+        }
+    }
+
+    fn offset(&self) -> i128 {
+        self.offsets.iter().sum()
+    }
+
+    fn step(&mut self) {
+        for d in 0..self.bounds.len() {
+            self.indices[d] += 1;
+            if self.indices[d] < self.bounds[d] {
+                self.offsets[d] += self.strides[d];
+                return;
+            }
+            self.indices[d] = 0;
+            self.offsets[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamaestro::StreamerMode;
+    use dm_mem::AddressingMode;
+
+    fn mem() -> MemConfig {
+        MemConfig::new(8, 8, 64).unwrap()
+    }
+
+    fn design(spatial: &[usize]) -> DesignConfig {
+        DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds(spatial.iter().copied())
+            .temporal_dims(3)
+            .build()
+            .unwrap()
+    }
+
+    fn prove(rt: &RuntimeConfig) -> PortPeriodProof {
+        prove_port(&design(&[8]), rt, &mem()).unwrap()
+    }
+
+    #[test]
+    fn unit_stride_stream_has_the_bank_cycle_period() {
+        // Burst of 8 consecutive words advancing 64 bytes (8 words) per
+        // step under FIMA(8): channel `c` always lands on bank `c`, so
+        // every step carries the same signature — period 1.
+        let rt = RuntimeConfig::builder()
+            .base(0)
+            .temporal([512], [64])
+            .spatial_strides([8])
+            .build();
+        let p = prove(&rt);
+        assert_eq!(p.steps, 512);
+        assert!(p.exhaustive);
+        assert_eq!(p.channels, 8);
+        // Every step touches each bank exactly once.
+        assert_eq!(p.period, 1);
+        assert_eq!(p.per_bank_per_period, vec![1; 8]);
+        assert_eq!(p.per_bank_walked, vec![512; 8]);
+    }
+
+    #[test]
+    fn strided_stream_rotates_through_banks_periodically() {
+        // One channel advancing one word per step under FIMA(8): the bank
+        // rotates 0,1,…,7 within a row then repeats → period 8.
+        let rt = RuntimeConfig::builder()
+            .base(0)
+            .temporal([256], [8])
+            .spatial_strides([0])
+            .build();
+        let design = DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds([1])
+            .temporal_dims(3)
+            .build()
+            .unwrap();
+        let p = prove_port(&design, &rt, &mem()).unwrap();
+        assert_eq!(p.period, 8);
+        assert_eq!(p.requests_per_period(), 8);
+        assert_eq!(p.per_bank_per_period, vec![1; 8]);
+    }
+
+    #[test]
+    fn zero_trip_nest_is_trivially_periodic() {
+        let rt = RuntimeConfig {
+            temporal_bounds: vec![0, 4],
+            temporal_strides: vec![64, 512],
+            ..RuntimeConfig::builder().spatial_strides([8]).build()
+        };
+        let p = prove(&rt);
+        assert_eq!(p.steps, 0);
+        assert_eq!(p.period, 1);
+        assert!(p.exhaustive);
+        assert_eq!(p.requests_per_period(), 0);
+        assert!(p.per_bank_walked.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn stride_zero_nest_repeats_one_signature() {
+        // Stride 0: every step re-reads the same burst → period 1.
+        let rt = RuntimeConfig::builder()
+            .base(128)
+            .temporal([64], [0])
+            .spatial_strides([8])
+            .build();
+        let p = prove(&rt);
+        assert_eq!(p.period, 1);
+        assert_eq!(p.per_bank_walked.iter().sum::<u64>(), 64 * 8);
+    }
+
+    #[test]
+    fn single_iteration_outer_loop_is_inner_period() {
+        // Outer bound 1 adds nothing: period equals the inner loop's.
+        let inner = RuntimeConfig::builder()
+            .base(0)
+            .temporal([64], [8])
+            .spatial_strides([0])
+            .build();
+        let outer = RuntimeConfig::builder()
+            .base(0)
+            .temporal([64, 1], [8, 0])
+            .spatial_strides([0])
+            .build();
+        let d = DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds([1])
+            .temporal_dims(3)
+            .build()
+            .unwrap();
+        let pi = prove_port(&d, &inner, &mem()).unwrap();
+        let po = prove_port(&d, &outer, &mem()).unwrap();
+        assert_eq!(pi.period, po.period);
+        assert_eq!(pi.per_bank_per_period, po.per_bank_per_period);
+    }
+
+    #[test]
+    fn mismatched_stride_dims_are_padded_not_rejected() {
+        // Fewer strides than bounds / spatial dims: missing strides are 0.
+        let rt = RuntimeConfig {
+            temporal_bounds: vec![4, 4],
+            temporal_strides: vec![8],
+            spatial_strides: vec![],
+            ..RuntimeConfig::builder().build()
+        };
+        let p = prove(&rt);
+        assert_eq!(p.steps, 16);
+        assert_eq!(p.period, 4, "outer dim (stride 0) contributes nothing");
+    }
+
+    #[test]
+    fn out_of_range_addresses_wrap_instead_of_refusing() {
+        let rt = RuntimeConfig::builder()
+            .base(0)
+            .temporal([1 << 16], [64])
+            .spatial_strides([8])
+            .build();
+        // Footprint far exceeds the 4 KiB scratchpad; the prover wraps.
+        let p = prove(&rt);
+        assert!(p.exhaustive);
+        assert_eq!(p.per_bank_walked.iter().sum::<u64>(), (1 << 16) * 8);
+    }
+
+    #[test]
+    fn illegal_mode_is_a_config_diagnostic() {
+        let rt = RuntimeConfig::builder()
+            .temporal([4], [64])
+            .spatial_strides([8])
+            .addressing_mode(AddressingMode::GroupedInterleaved { group_banks: 3 })
+            .build();
+        let err = prove_port(&design(&[8]), &rt, &mem()).unwrap_err();
+        assert_eq!(err.code, LintCode::Config);
+    }
+
+    #[test]
+    fn period_divides_counts_consistently() {
+        // The per-period counts replicated over the walk never exceed the
+        // walked totals (weak-period prefix property).
+        let rt = RuntimeConfig::builder()
+            .base(0)
+            .temporal([48, 3], [8, 1024])
+            .spatial_strides([0])
+            .build();
+        let d = DesignConfig::builder("A", StreamerMode::Read)
+            .spatial_bounds([1])
+            .temporal_dims(3)
+            .build()
+            .unwrap();
+        let p = prove_port(&d, &rt, &mem()).unwrap();
+        assert!(p.period <= p.walked);
+        let reps = p.walked / p.period;
+        for (b, &per) in p.per_bank_per_period.iter().enumerate() {
+            assert!(per * reps <= p.per_bank_walked[b] + p.requests_per_period());
+        }
+    }
+}

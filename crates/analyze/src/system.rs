@@ -161,12 +161,16 @@ pub fn analyze_streams(streams: &[StreamInput<'_>], mem: &MemConfig, prepasses: 
         }
         let ranked = advisor::rank_modes(summary, mem, &occupied);
         let best = &ranked[0];
+        let current = ranked
+            .iter()
+            .find(|m| m.mode == summary.mode)
+            .expect("current mode is always listed");
         let certainty = if first_step.is_some() {
             "collide"
         } else {
             "may collide"
         };
-        if best.mode != summary.mode && best.candidate_pairs < pairs.len() {
+        if best.mode != summary.mode && best.predicted_cycles < current.predicted_cycles {
             report.push(Diagnostic::warning(
                 LintCode::BankConflict,
                 &summary.name,
@@ -183,13 +187,15 @@ pub fn analyze_streams(streams: &[StreamInput<'_>], mem: &MemConfig, prepasses: 
                 LintCode::ModeMismatch,
                 &summary.name,
                 format!(
-                    "addressing mode {} predicts {} conflicting channel \
-                     pairs per burst; {} would predict {} (placement \
-                     compatible)",
+                    "addressing mode {} is predicted to need {} cycles on \
+                     its hottest bank over {} steps; {} would need {} \
+                     (placement compatible, predicted utilization {:.2}x)",
                     summary.mode,
-                    pairs.len(),
+                    current.predicted_cycles,
+                    current.walked_steps,
                     best.mode,
-                    best.candidate_pairs
+                    best.predicted_cycles,
+                    current.predicted_cycles as f64 / best.predicted_cycles.max(1) as f64,
                 ),
             ));
         } else {
@@ -198,8 +204,9 @@ pub fn analyze_streams(streams: &[StreamInput<'_>], mem: &MemConfig, prepasses: 
                 &summary.name,
                 format!(
                     "{} channel pairs {certainty} on a bank per burst under \
-                     {}; no placement-compatible addressing mode does \
-                     better — conflicts are unavoidable for this pattern",
+                     {}; no placement-compatible addressing mode predicts a \
+                     lower cycle bound — conflicts are unavoidable for this \
+                     pattern",
                     pairs.len(),
                     summary.mode
                 ),

@@ -1,0 +1,166 @@
+//! `dm-lint` — static configuration linter for the DataMaestro system.
+//!
+//! Compiles the committed workload suites onto the paper's evaluation
+//! geometry and runs the full static analysis (bank conflicts, footprint
+//! bounds, hazards, deadlock, `DM-PERF-*` performance proofs) on each
+//! program, **without simulating**.
+//!
+//! ```text
+//! dm-lint [run] [--suite fig7|table3|kernels|all] [--quick] [--json]
+//!         [--out <path>] [--deny-warnings] [--demo oob|zero-fifo|nima-clash]
+//! dm-lint diff <old.json> <new.json>
+//! ```
+//!
+//! The bare flags-only invocation is the historical dialect and stays
+//! supported (CI calls `dm-lint --suite all --deny-warnings`); `run` is an
+//! accepted alias so the tool conjugates like `dm-profile`/`dm-critical`/
+//! `dm-predict`. `--json` emits the schema-versioned canonical document;
+//! `diff` compares two documents by lint-code counts and refuses
+//! cross-schema input.
+//!
+//! Exit status: 0 = clean (per the gate), 1 = findings failed the gate,
+//! 2 = usage error.
+
+use dm_analyze::{analyze_streams, fixtures, Report, StreamInput};
+use dm_bench::{cli, lint};
+use dm_mem::MemConfig;
+use dm_sim::JsonValue;
+
+struct Args {
+    flags: cli::RunFlags,
+    deny_warnings: bool,
+    suite: String,
+    demo: Option<String>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: dm-lint [run] [--suite fig7|table3|kernels|all] [--quick] [--json] \
+         [--out <path>] [--deny-warnings] [--demo oob|zero-fifo|nima-clash]"
+    );
+    eprintln!("       dm-lint diff <old.json> <new.json>");
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut parsed = Args {
+        flags: cli::RunFlags::default(),
+        deny_warnings: false,
+        suite: "all".to_owned(),
+        demo: None,
+    };
+    // dm-lint shares only the output flags of the common run dialect; the
+    // selection flags (--suite/--demo) are its own.
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => parsed.flags.json = true,
+            "--out" => {
+                parsed.flags.out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a path")),
+                );
+                parsed.flags.json = true;
+            }
+            "--deny-warnings" => parsed.deny_warnings = true,
+            "--quick" => parsed.flags.full = false,
+            "--suite" => {
+                parsed.suite = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| usage("--suite needs a name"));
+            }
+            "--demo" => {
+                parsed.demo = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--demo needs a name")),
+                );
+            }
+            other => usage(&format!("unknown option: {other}")),
+        }
+    }
+    // The historical default is the full suite; --quick opts into the
+    // every-5th fig7 slice. RunFlags models that as `full`, inverted.
+    parsed.flags.full = !args.iter().any(|a| a == "--quick");
+    parsed
+}
+
+fn demo_report(name: &str) -> Report {
+    let mem_default = MemConfig::default();
+    match name {
+        "oob" => {
+            let (design, runtime, mem) = fixtures::oob_pattern();
+            analyze_streams(
+                &[StreamInput {
+                    design: &design,
+                    runtime: &runtime,
+                }],
+                &mem,
+                0,
+            )
+            .report
+        }
+        "zero-fifo" => {
+            let mut report = Report::new();
+            report.extend(fixtures::zero_capacity_fifo().analyze());
+            report
+        }
+        "nima-clash" => {
+            let (design, runtime, _) = fixtures::nima_gemm_clash();
+            analyze_streams(
+                &[StreamInput {
+                    design: &design,
+                    runtime: &runtime,
+                }],
+                &mem_default,
+                0,
+            )
+            .report
+        }
+        other => usage(&format!("unknown demo fixture: {other}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => diff(&args[1..]),
+        Some("run") => run(&args[1..]),
+        _ => run(&args),
+    }
+}
+
+fn run(args: &[String]) {
+    let args = parse_args(args);
+    let doc = if let Some(demo) = &args.demo {
+        // Demo fixtures are known-bad by construction, so they always gate
+        // at warning level — otherwise the warning-only `nima-clash` would
+        // "pass".
+        lint::document_for_report(&demo_report(demo), 1, 0, true)
+    } else {
+        let workloads = lint::suite_workloads(&args.suite, !args.flags.full)
+            .unwrap_or_else(|| usage("--suite must be fig7, table3, kernels or all"));
+        lint::document_for_workloads(&workloads, args.deny_warnings)
+    };
+    let passed = matches!(doc.get("passed"), Some(JsonValue::Bool(true)));
+    cli::emit_document(&args.flags, "lint report", &doc, lint::render);
+    std::process::exit(i32::from(!passed));
+}
+
+fn diff(args: &[String]) {
+    let (allow_mismatch, old_path, new_path) = cli::parse_diff_flags(args).unwrap_or_else(|e| {
+        usage(&e);
+    });
+    if allow_mismatch {
+        usage("dm-lint diff has no --allow-mismatch: a schema mismatch is never a lint insight");
+    }
+    let outcome = lint::diff(&cli::load_json(&old_path), &cli::load_json(&new_path))
+        .unwrap_or_else(|e| {
+            eprintln!("dm-lint diff: {e}");
+            std::process::exit(1);
+        });
+    print!("{}", lint::render_diff(&outcome, &old_path, &new_path));
+}

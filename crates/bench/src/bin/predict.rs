@@ -1,0 +1,77 @@
+//! The static performance prover CLI.
+//!
+//! ```text
+//! dm-predict run  [--step <1..6>] [--full|--quick] [--jobs <n>]
+//!                 [--latency <cycles>] [--json] [--out <path>]
+//! dm-predict diff [--allow-mismatch] <old.json> <new.json>
+//! ```
+//!
+//! `run` compiles the Fig. 7 ablation slice at one feature step (default
+//! ⑥, fully featured) and — without simulating — proves for every workload
+//! a steady-state period for each port's request stream and a sound upper
+//! bound on PE utilization, with the predicted bottleneck in the same
+//! taxonomy `dm-profile`/`dm-critical` measure. `--json` emits the
+//! canonical document (byte-identical for any `--jobs` count — CI uses
+//! that as a determinism gate).
+//!
+//! `diff` compares two documents — typically adjacent ablation steps — and
+//! shows how the proven roofline and predicted bottleneck move, e.g. the
+//! step ⑤→⑥ recovery when bank-aware remapping removes the conflict cap.
+//! Cross-latency documents are refused unless `--allow-mismatch` is given.
+
+use dm_bench::cli;
+use dm_bench::predict;
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!(
+        "  dm-predict run  [--step <1..6>] [--full|--quick] [--jobs <n>]\n\
+         \x20                [--latency <cycles>] [--json] [--out <path>]"
+    );
+    eprintln!("  dm-predict diff [--allow-mismatch] <old.json> <new.json>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run(args: &[String]) {
+    let flags = cli::parse_run_flags(args, false).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    });
+    let opts = predict::PredictOptions {
+        step: flags.step,
+        full: flags.full,
+        jobs: flags.jobs,
+        read_latency: flags.read_latency,
+    };
+    let doc = predict::predict_document(&opts, |msg| eprintln!("  {msg}")).unwrap_or_else(|e| {
+        eprintln!("dm-predict: {e}");
+        std::process::exit(1);
+    });
+    cli::emit_document(&flags, "prediction", &doc, predict::render);
+}
+
+fn diff(args: &[String]) {
+    let (allow_mismatch, old_path, new_path) = cli::parse_diff_flags(args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    });
+    let outcome = predict::diff(
+        &cli::load_json(&old_path),
+        &cli::load_json(&new_path),
+        allow_mismatch,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("dm-predict diff: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", predict::render_diff(&outcome, &old_path, &new_path));
+}

@@ -23,8 +23,7 @@
 //! unless `--allow-mismatch` is given — latency-sweep comparisons (the
 //! Fig. 7(a) axis) are then possible, behind a loud warning banner.
 
-use dm_bench::profile;
-use dm_sim::JsonValue;
+use dm_bench::{cli, profile};
 
 fn usage() -> ! {
     eprintln!("usage:");
@@ -47,84 +46,37 @@ fn main() {
 }
 
 fn run(args: &[String]) {
-    let mut opts = profile::ProfileOptions::default();
-    let mut json = false;
-    let mut out: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--step" => {
-                opts.step = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .filter(|&n| (1..=6).contains(&n))
-                    .unwrap_or_else(|| usage());
-            }
-            "--full" => opts.full = true,
-            // The default selection; accepted so scripts can be explicit.
-            "--quick" => opts.full = false,
-            "--jobs" => {
-                opts.jobs = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage());
-            }
-            "--latency" => {
-                opts.read_latency = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage());
-            }
-            "--no-fast-forward" => opts.fast_forward = false,
-            "--json" => json = true,
-            "--out" => {
-                out = Some(it.next().cloned().unwrap_or_else(|| usage()));
-                json = true;
-            }
-            _ => usage(),
-        }
-    }
+    let flags = cli::parse_run_flags(args, true).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    });
+    let opts = profile::ProfileOptions {
+        step: flags.step,
+        full: flags.full,
+        jobs: flags.jobs,
+        fast_forward: flags.fast_forward,
+        read_latency: flags.read_latency,
+    };
     let doc = profile::profile_document(&opts, |msg| eprintln!("  {msg}")).unwrap_or_else(|e| {
         eprintln!("dm-profile: {e}");
         std::process::exit(1);
     });
-    if json {
-        match out {
-            Some(path) => {
-                std::fs::write(&path, doc.to_json())
-                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-                println!("wrote profile to {path}");
-            }
-            None => println!("{}", doc.to_json()),
-        }
-    } else {
-        print!("{}", profile::render(&doc));
-    }
-}
-
-fn load(path: &str) -> JsonValue {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-    JsonValue::parse(&text).unwrap_or_else(|e| panic!("{path}: malformed JSON: {}", e.message))
+    cli::emit_document(&flags, "profile", &doc, profile::render);
 }
 
 fn diff(args: &[String]) {
-    let mut allow_mismatch = false;
-    let mut paths: Vec<&String> = Vec::new();
-    for arg in args {
-        match arg.as_str() {
-            "--allow-mismatch" => allow_mismatch = true,
-            _ => paths.push(arg),
-        }
-    }
-    let [old_path, new_path] = paths[..] else {
+    let (allow_mismatch, old_path, new_path) = cli::parse_diff_flags(args).unwrap_or_else(|e| {
+        eprintln!("{e}");
         usage();
-    };
-    let outcome =
-        profile::diff(&load(old_path), &load(new_path), allow_mismatch).unwrap_or_else(|e| {
-            eprintln!("dm-profile diff: {e}");
-            std::process::exit(1);
-        });
-    print!("{}", profile::render_diff(&outcome, old_path, new_path));
+    });
+    let outcome = profile::diff(
+        &cli::load_json(&old_path),
+        &cli::load_json(&new_path),
+        allow_mismatch,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("dm-profile diff: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", profile::render_diff(&outcome, &old_path, &new_path));
 }

@@ -1,0 +1,228 @@
+//! Shared command-line plumbing for the analysis-tool binaries.
+//!
+//! `dm-profile`, `dm-critical`, `dm-lint` and `dm-predict` all speak the
+//! same `run`/`diff` dialect; this module holds the one copy of the flag
+//! parsing so the binaries stay thin shims. Parsers return `Err(message)`
+//! instead of exiting so each binary can wrap the message in its own usage
+//! text (and so the parsing is unit-testable).
+
+use dm_sim::JsonValue;
+use dm_system::SystemConfig;
+
+/// The flags of a `<tool> run` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFlags {
+    /// Ablation step (1 = baseline … 6 = fully featured).
+    pub step: usize,
+    /// Run the complete Fig. 7 suite instead of the every-5th slice.
+    pub full: bool,
+    /// Worker threads (documents are byte-identical for any value).
+    pub jobs: usize,
+    /// Scratchpad bank read latency in cycles.
+    pub read_latency: u64,
+    /// Idle-cycle elision (`--no-fast-forward` disables; only offered by
+    /// the simulating tools).
+    pub fast_forward: bool,
+    /// Emit the canonical JSON document instead of the human table.
+    pub json: bool,
+    /// Write the JSON document to this path (implies `json`).
+    pub out: Option<String>,
+}
+
+impl Default for RunFlags {
+    fn default() -> Self {
+        RunFlags {
+            step: 6,
+            full: false,
+            jobs: 1,
+            read_latency: SystemConfig::default().read_latency,
+            fast_forward: true,
+            json: false,
+            out: None,
+        }
+    }
+}
+
+/// Parses the standard `run` flags: `--step <1..6>`, `--full`/`--quick`,
+/// `--jobs <n>`, `--latency <cycles>`, `--json`, `--out <path>`, and —
+/// only when `accept_fast_forward` (the simulating tools) —
+/// `--no-fast-forward`.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the offending flag.
+pub fn parse_run_flags(args: &[String], accept_fast_forward: bool) -> Result<RunFlags, String> {
+    let mut flags = RunFlags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--step" => {
+                flags.step = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| (1..=6).contains(&n))
+                    .ok_or("--step requires an integer in 1..=6")?;
+            }
+            "--full" => flags.full = true,
+            // The default selection; accepted so scripts can be explicit.
+            "--quick" => flags.full = false,
+            "--jobs" => {
+                flags.jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--jobs requires a positive integer")?;
+            }
+            "--latency" => {
+                flags.read_latency = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--latency requires a positive integer")?;
+            }
+            "--no-fast-forward" if accept_fast_forward => flags.fast_forward = false,
+            "--json" => flags.json = true,
+            "--out" => {
+                flags.out = Some(it.next().cloned().ok_or("--out requires a path argument")?);
+                flags.json = true;
+            }
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(flags)
+}
+
+/// Parses the standard `diff` arguments: `[--allow-mismatch] <old> <new>`.
+///
+/// # Errors
+///
+/// Returns a one-line message when the two paths are missing or extra
+/// flags appear.
+pub fn parse_diff_flags(args: &[String]) -> Result<(bool, String, String), String> {
+    let mut allow_mismatch = false;
+    let mut paths: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--allow-mismatch" => allow_mismatch = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option: {other}"));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        return Err("diff requires exactly two document paths".to_owned());
+    };
+    Ok((allow_mismatch, old_path.clone(), new_path.clone()))
+}
+
+/// Loads and parses a JSON document, exiting loudly on failure (the diff
+/// paths of all four tools treat an unreadable document as fatal).
+///
+/// # Panics
+///
+/// Panics with the path and the underlying error on I/O or parse failure.
+#[must_use]
+pub fn load_json(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    JsonValue::parse(&text).unwrap_or_else(|e| panic!("{path}: malformed JSON: {}", e.message))
+}
+
+/// Emits a document per the shared output contract: human rendering by
+/// default, canonical JSON with `--json`, written to `--out` when given.
+pub fn emit_document(
+    flags: &RunFlags,
+    what: &str,
+    doc: &JsonValue,
+    render: impl FnOnce(&JsonValue) -> String,
+) {
+    if flags.json {
+        match flags.out.as_deref() {
+            Some(path) => {
+                std::fs::write(path, doc.to_json())
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("wrote {what} to {path}");
+            }
+            None => println!("{}", doc.to_json()),
+        }
+    } else {
+        print!("{}", render(doc));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn run_flags_parse_the_full_dialect() {
+        let flags = parse_run_flags(
+            &args(&[
+                "--step",
+                "3",
+                "--full",
+                "--jobs",
+                "4",
+                "--latency",
+                "16",
+                "--no-fast-forward",
+                "--out",
+                "x.json",
+            ]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(flags.step, 3);
+        assert!(flags.full);
+        assert_eq!(flags.jobs, 4);
+        assert_eq!(flags.read_latency, 16);
+        assert!(!flags.fast_forward);
+        assert!(flags.json, "--out implies --json");
+        assert_eq!(flags.out.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn defaults_match_the_simulator() {
+        let flags = parse_run_flags(&[], true).unwrap();
+        assert_eq!(flags, RunFlags::default());
+        assert_eq!(
+            flags.read_latency,
+            SystemConfig::default().read_latency,
+            "latency default tracks the simulator's"
+        );
+    }
+
+    #[test]
+    fn static_tools_reject_fast_forward() {
+        let err = parse_run_flags(&args(&["--no-fast-forward"]), false).unwrap_err();
+        assert!(err.contains("--no-fast-forward"), "{err}");
+        assert!(parse_run_flags(&args(&["--no-fast-forward"]), true).is_ok());
+    }
+
+    #[test]
+    fn bad_values_are_one_line_errors() {
+        for bad in [
+            ["--step", "7"],
+            ["--jobs", "0"],
+            ["--latency", "x"],
+            ["--bogus", "1"],
+        ] {
+            assert!(parse_run_flags(&args(&bad), true).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn diff_flags_require_two_paths() {
+        let (allow, old, new) =
+            parse_diff_flags(&args(&["--allow-mismatch", "a.json", "b.json"])).unwrap();
+        assert!(allow);
+        assert_eq!((old.as_str(), new.as_str()), ("a.json", "b.json"));
+        assert!(parse_diff_flags(&args(&["a.json"])).is_err());
+        assert!(parse_diff_flags(&args(&["a", "b", "c"])).is_err());
+        assert!(parse_diff_flags(&args(&["--frobnicate", "a", "b"])).is_err());
+    }
+}

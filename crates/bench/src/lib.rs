@@ -13,10 +13,13 @@
 //! | `table3` | Table III — real-network GeMM-core utilization |
 //! | `fig10`  | Fig. 10 — normalized throughput + data-movement cost vs SotA |
 //!
-//! Run them with `cargo run -p dm-bench --release --bin <name>`. Two
+//! Run them with `cargo run -p dm-bench --release --bin <name>`. The
 //! harness binaries ride along: `regress` (benchmark regression gate, see
-//! [`regress`]) and `dm-profile` (causal bottleneck profiler, see
-//! [`profile`]).
+//! [`regress`]), `dm-profile` (causal bottleneck profiler, see
+//! [`profile`]), `dm-critical` (critical-path analyzer, see [`critical`]),
+//! `dm-predict` (static performance prover, see [`predict`]) and `dm-lint`
+//! (static configuration linter, see [`lint`]); their shared `run`/`diff`
+//! flag dialect lives in [`cli`].
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -25,7 +28,10 @@ use dm_sim::{perfetto, JsonValue, Trace};
 use dm_system::{run_workload, RunReport, SystemConfig, SystemError};
 use dm_workloads::{Workload, WorkloadData};
 
+pub mod cli;
 pub mod critical;
+pub mod lint;
+pub mod predict;
 pub mod profile;
 pub mod regress;
 

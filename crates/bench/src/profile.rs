@@ -11,7 +11,7 @@
 //!
 //! Every run is re-checked against the conservation contract in release
 //! builds: the blame tree must charge exactly the stalls the
-//! [`StallAttribution`] counted, per cause and per port, and the fire count
+//! [`dm_sim::StallAttribution`] counted, per cause and per port, and the fire count
 //! must match `active_cycles`. A violation is a hard error (non-zero exit
 //! from the CLI), not a warning — a profiler that loses cycles is lying.
 //!

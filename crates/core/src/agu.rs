@@ -112,7 +112,7 @@ impl TemporalAgu {
         Some(addr as u64)
     }
 
-    /// The outermost dimension the most recent [`next_address`] call
+    /// The outermost dimension the most recent [`next_address`](Self::next_address) call
     /// wrapped (carried past its bound), or `None` if it only stepped.
     #[must_use]
     pub fn last_wrap(&self) -> Option<usize> {

@@ -59,6 +59,7 @@ pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod period;
 pub mod stall;
 pub mod stats;
 pub mod trace;
@@ -73,6 +74,7 @@ pub use hash::StableHasher;
 pub use histogram::LatencyHistogram;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Instrumented, MetricValue, MetricsRegistry};
+pub use period::{is_periodic_with, minimal_period};
 pub use stall::{OperandPort, Port, StallAttribution, StallCause};
 pub use stats::{Counter, Distribution, Summary};
 pub use trace::{Trace, TraceEvent, TraceEventKind, TraceMode};

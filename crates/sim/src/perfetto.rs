@@ -4,7 +4,7 @@
 //! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev) load
 //! directly. Each trace becomes one named thread track (`M` metadata
 //! events); point events become complete events (`ph: "X"`, one-cycle
-//! duration); [`TraceEventKind::SpanBegin`] / [`SpanEnd`] become `B`/`E`
+//! duration); [`TraceEventKind::SpanBegin`] / [`TraceEventKind::SpanEnd`] become `B`/`E`
 //! pairs; and runs of consecutive PE fire/stall cycles are coalesced into
 //! single `X` events spanning the run, which keeps compute-phase dumps
 //! compact and makes the stall structure visible at a glance. Every closed

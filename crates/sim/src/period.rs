@@ -1,0 +1,107 @@
+//! Minimal-period detection over digest sequences.
+//!
+//! Shared between the static performance prover (`dm-analyze`), which
+//! proves the per-step bank-signature stream of an affine AGU periodic,
+//! and the differential soundness tests, which compare that proof against
+//! the fire-cycle digest recorded by the simulator's period probe
+//! (`SystemConfig::record_fire_cycles`).
+//!
+//! The period returned is the *weak* (prefix) period: the smallest `p ≥ 1`
+//! with `seq[i] == seq[i + p]` for every valid `i`, computed in O(n) via
+//! the KMP failure function (`p = n − border(n)`). For a sequence that is
+//! a whole number of repetitions this coincides with the strong period;
+//! either way, any longer sequence extending `seq` periodically has `p`
+//! among its periods, which is the direction the soundness argument needs.
+
+/// The minimal (weak) period of `seq`: the smallest `p ≥ 1` such that
+/// `seq[i] == seq[i + p]` whenever both indices are in range. Sequences of
+/// length ≤ 1 are trivially `1`-periodic.
+#[must_use]
+pub fn minimal_period<T: Eq>(seq: &[T]) -> u64 {
+    let n = seq.len();
+    if n <= 1 {
+        return 1;
+    }
+    // KMP failure function: border[i] = length of the longest proper
+    // border (prefix that is also a suffix) of seq[..=i].
+    let mut border = vec![0usize; n];
+    let mut k = 0usize;
+    for i in 1..n {
+        while k > 0 && seq[i] != seq[k] {
+            k = border[k - 1];
+        }
+        if seq[i] == seq[k] {
+            k += 1;
+        }
+        border[i] = k;
+    }
+    (n - border[n - 1]) as u64
+}
+
+/// `true` when `p` is a (weak) period of `seq`: `seq[i] == seq[i + p]`
+/// for every `i` with `i + p < seq.len()`. `p == 0` is never a period.
+#[must_use]
+pub fn is_periodic_with<T: Eq>(seq: &[T], p: u64) -> bool {
+    if p == 0 {
+        return false;
+    }
+    let Ok(p) = usize::try_from(p) else {
+        // A period beyond the sequence length constrains nothing.
+        return true;
+    };
+    seq.len() <= p || (0..seq.len() - p).all(|i| seq[i] == seq[i + p])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_sequences_are_trivially_periodic() {
+        assert_eq!(minimal_period::<u64>(&[]), 1);
+        assert_eq!(minimal_period(&[7u64]), 1);
+        assert_eq!(minimal_period(&[3u64; 100]), 1);
+    }
+
+    #[test]
+    fn repeating_patterns_find_the_fundamental_period() {
+        assert_eq!(minimal_period(b"abcabcabc"), 3);
+        assert_eq!(minimal_period(b"abab"), 2);
+        assert_eq!(minimal_period(b"abcd"), 4);
+        // Weak period: a partial final repetition still counts.
+        assert_eq!(minimal_period(b"abcabcab"), 3);
+    }
+
+    #[test]
+    fn minimal_period_is_minimal_and_valid() {
+        for seq in [
+            vec![1u64, 2, 1, 2, 1, 2, 1],
+            vec![0, 0, 1, 0, 0, 1],
+            vec![5, 4, 3, 2, 1],
+            vec![1, 1, 2, 1, 1, 2, 1, 1],
+        ] {
+            let p = minimal_period(&seq);
+            assert!(is_periodic_with(&seq, p), "{seq:?} not {p}-periodic");
+            for q in 1..p {
+                assert!(!is_periodic_with(&seq, q), "{seq:?} has period {q} < {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_multiple_of_the_period_is_a_period_of_full_repetitions() {
+        let seq: Vec<u64> = (0..60).map(|i| i % 5).collect();
+        assert_eq!(minimal_period(&seq), 5);
+        for k in 1..6 {
+            assert!(is_periodic_with(&seq, 5 * k));
+        }
+        assert!(!is_periodic_with(&seq, 3));
+        assert!(!is_periodic_with(&seq, 0));
+    }
+
+    #[test]
+    fn oversized_periods_constrain_nothing() {
+        assert!(is_periodic_with(&[1u64, 2, 3], 3));
+        assert!(is_periodic_with(&[1u64, 2, 3], u64::MAX));
+    }
+}

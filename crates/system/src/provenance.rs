@@ -12,8 +12,8 @@
 //!
 //! The fingerprint deliberately EXCLUDES settings that cannot change
 //! simulated behaviour — output checking, trace capture, host phase timing,
-//! fast-forward elision — so turning diagnostics on or off does not
-//! invalidate a baseline.
+//! fast-forward elision, fire-cycle recording — so turning diagnostics on
+//! or off does not invalidate a baseline.
 
 use dm_sim::{JsonValue, StableHasher};
 use dm_workloads::Workload;
@@ -139,6 +139,7 @@ mod tests {
                 flow_events: true,
                 time_phases: true,
                 fast_forward: false,
+                record_fire_cycles: true,
                 ..SystemConfig::default()
             },
             workload(),

@@ -59,6 +59,15 @@ pub struct SystemConfig {
     /// Traced runs ([`SystemConfig::trace`] ≠ [`TraceMode::Off`]) fall back
     /// to lockstep so per-cycle trace timestamps are trivially preserved.
     pub fast_forward: bool,
+    /// Record the absolute cycle of every PE fire into
+    /// [`RunReport::fire_cycles`] (off by default). This is the digest-
+    /// period probe of the static performance prover: the fire-gap sequence
+    /// is what the prover's steady-state period proof predicts. Fires only
+    /// happen in lockstep iterations (fast-forward spans are stall-only),
+    /// so the recording is exact with elision on or off, and — like
+    /// tracing — it never affects simulated behaviour or the provenance
+    /// fingerprint.
+    pub record_fire_cycles: bool,
 }
 
 impl Default for SystemConfig {
@@ -77,6 +86,7 @@ impl Default for SystemConfig {
             flow_events: false,
             time_phases: false,
             fast_forward: true,
+            record_fire_cycles: false,
         }
     }
 }
@@ -255,6 +265,11 @@ pub struct RunReport {
     /// Captured event traces, one per component track, in Perfetto track
     /// order. Empty when [`SystemConfig::trace`] is [`TraceMode::Off`].
     pub traces: Vec<(String, Trace)>,
+    /// Absolute cycle of every PE fire, in order. Empty unless
+    /// [`SystemConfig::record_fire_cycles`] was set. The consecutive-gap
+    /// sequence of this digest is what the static prover's steady-state
+    /// period proof describes.
+    pub fire_cycles: Vec<u64>,
     /// Deterministic identity of this run: fingerprint of the
     /// behaviour-relevant configuration, workload and crate version.
     pub provenance: Provenance,
@@ -488,6 +503,7 @@ pub fn run_compiled(
     let mut critical = CriticalProfile::new(config.read_latency.max(1));
     let mut compute_cycles = 0u64;
     let mut active_cycles = 0u64;
+    let mut fire_cycles = Vec::new();
     let mut tiles_done = 0u64;
     let budget = program.total_steps() * 64 + 100_000;
 
@@ -675,6 +691,9 @@ pub fn run_compiled(
             // the fill phase, and no fire can happen after drain begins.
             blame.record_fire(BlamePhase::Steady, now.get());
             critical.record_fire();
+            if config.record_fire_cycles {
+                fire_cycles.push(now.get());
+            }
             sys_trace.emit(now, "pe", TraceEventKind::PeFire);
             let a_word = a.pop_wide();
             let b_word = b.pop_wide();
@@ -883,6 +902,7 @@ pub fn run_compiled(
         per_bank_accesses: mem.per_bank_accesses().to_vec(),
         metrics,
         traces,
+        fire_cycles,
         provenance: Provenance::stamp(config, program.workload),
         host,
         checked,
